@@ -1,0 +1,122 @@
+// Command ampere-ctl is the operator's query tool against a running powermon
+// (or any server exposing the monitor's RESTful API):
+//
+//	ampere-ctl -addr http://localhost:8080 series
+//	ampere-ctl -addr http://localhost:8080 latest row/0
+//	ampere-ctl -addr http://localhost:8080 query row/0 -last 30
+//	ampere-ctl -addr http://localhost:8080 status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "powermon base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	client := tsdb.NewClient(*addr)
+	var err error
+	switch args[0] {
+	case "series":
+		err = series(client)
+	case "latest":
+		if len(args) < 2 {
+			usage()
+		}
+		err = latest(client, args[1])
+	case "query":
+		if len(args) < 2 {
+			usage()
+		}
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		last := fs.Int("last", 0, "only the last N minutes")
+		if err := fs.Parse(args[2:]); err != nil {
+			fatal(err)
+		}
+		err = query(client, args[1], *last)
+	case "status":
+		err = status(*addr)
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ampere-ctl [-addr URL] series | latest <name> | query <name> [-last N] | status")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampere-ctl:", err)
+	os.Exit(1)
+}
+
+func series(c *tsdb.Client) error {
+	names, err := c.Names()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func latest(c *tsdb.Client, name string) error {
+	p, err := c.Latest(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  %v  %.1f W\n", name, p.T, p.V)
+	return nil
+}
+
+func query(c *tsdb.Client, name string, lastMinutes int) error {
+	var pts []tsdb.Point
+	var err error
+	if lastMinutes > 0 {
+		p, lerr := c.Latest(name)
+		if lerr != nil {
+			return lerr
+		}
+		from := p.T.Add(-sim.Duration(lastMinutes) * sim.Minute)
+		pts, err = c.Query(name, from, p.T)
+	} else {
+		pts, err = c.QueryAll(name)
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("%v  %.1f\n", p.T, p.V)
+	}
+	return nil
+}
+
+// status fetches powermon's /status endpoint (free-form JSON, printed raw).
+func status(addr string) error {
+	resp, err := http.Get(addr + "/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /status: %s", resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

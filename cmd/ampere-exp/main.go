@@ -1,0 +1,348 @@
+// Command ampere-exp regenerates any table or figure from the paper's
+// evaluation section against the simulated data center.
+//
+// Usage:
+//
+//	ampere-exp -exp fig1|fig2|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|
+//	                table2|table3|spread|outage|ablations|all
+//	           [-quick] [-seed N] [-out dir]
+//
+// -quick shrinks cluster sizes and time spans for a fast pass (the same
+// configurations the test suite and benchmarks use); the default sizes
+// follow the paper (400-server rows, 24-hour spans) and take a few minutes
+// in total. -out additionally writes plot-ready CSV series for the figure
+// experiments into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"path/filepath"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1..fig12, table2, table3, all)")
+	quick := flag.Bool("quick", false, "shrunken fast configuration")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = per-experiment default)")
+	out := flag.String("out", "", "directory to also write plot-ready CSV series into")
+	flag.Parse()
+
+	runners := map[string]func(bool, uint64, string) error{
+		"fig1":      runFig1,
+		"fig2":      runFig2,
+		"fig4":      runFig4,
+		"fig5":      runFig5,
+		"fig7":      runFig7,
+		"fig8":      runFig8,
+		"fig9":      runFig9,
+		"fig10":     runFig10Table2,
+		"table2":    runFig10Table2,
+		"fig11":     runFig11,
+		"fig12":     runFig12,
+		"table3":    runTable3,
+		"spread":    runSpread,
+		"outage":    runOutage,
+		"ablations": runAblations,
+	}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
+		"table2", "fig11", "fig12", "table3", "spread", "outage", "ablations"}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else if _, ok := runners[*exp]; ok {
+		ids = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runners[id](*quick, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func pick(seed, def uint64) uint64 {
+	if seed != 0 {
+		return seed
+	}
+	return def
+}
+
+// writeCSV saves a plot-ready CSV into outDir when -out is set.
+func writeCSV(outDir, name string, write func(w *os.File) error) error {
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runFig1(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig1()
+	if quick {
+		cfg.Rows, cfg.RowServers, cfg.Measure = 4, 80, 12*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig1(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig1(os.Stdout, res)
+	if err := writeCSV(outDir, "fig1.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runFig2(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig2()
+	if quick {
+		cfg.RowServers, cfg.CorrSpan = 80, 12*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig2(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig2(os.Stdout, res)
+	return nil
+}
+
+func runFig4(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig4()
+	if quick {
+		cfg.RowServers, cfg.FreezeCount = 160, 32
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig4(os.Stdout, res)
+	if err := writeCSV(outDir, "fig4.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runFig5(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig5()
+	if quick {
+		cfg.RowServers = 160
+		cfg.Cycles = 1
+		cfg.URatios = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig5(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig5(os.Stdout, res)
+	if err := writeCSV(outDir, "fig5.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runFig7(quick bool, seed uint64, outDir string) error {
+	n := 500000
+	if quick {
+		n = 50000
+	}
+	experiment.FormatFig7(os.Stdout, experiment.RunFig7(pick(seed, 7), n))
+	return nil
+}
+
+func runFig8(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig8()
+	if quick {
+		cfg.RowServers = 160
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig8(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig8(os.Stdout, res)
+	if err := writeCSV(outDir, "fig8.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runFig9(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig9()
+	if quick {
+		cfg.RowServers, cfg.Measure = 160, 12*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig9(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig9(os.Stdout, res)
+	return nil
+}
+
+func runFig10Table2(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultTable2()
+	if quick {
+		cfg.RowServers = 160
+		cfg.Warmup = sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunTable2(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatTable2(os.Stdout, res)
+	fmt.Println()
+	experiment.FormatFig10(os.Stdout, res)
+	if err := writeCSV(outDir, "fig10_light.csv", func(w *os.File) error { return res.LightSer.WriteCSV(w) }); err != nil {
+		return err
+	}
+	if err := writeCSV(outDir, "fig10_heavy.csv", func(w *os.File) error { return res.HeavySer.WriteCSV(w) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runFig11(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig11()
+	if quick {
+		cfg.RowServers, cfg.ServiceServers = 80, 16
+		cfg.RequestsPerSecond = 60
+		cfg.Pretrain, cfg.Measure = 12*sim.Hour, sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig11(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig11(os.Stdout, res)
+	return nil
+}
+
+func runFig12(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultFig12()
+	if quick {
+		cfg.RowServers = 160
+		cfg.Warmup, cfg.Pretrain = sim.Hour, 8*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunFig12(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig12(os.Stdout, res)
+	if err := writeCSV(outDir, "fig12.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+		return err
+	}
+	return nil
+}
+
+func runSpread(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultSpread()
+	if quick {
+		cfg.RowServers, cfg.Measure = 80, 8*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	rows, err := experiment.RunSpread(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatSpread(os.Stdout, rows)
+	return nil
+}
+
+func runOutage(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultOutage()
+	if quick {
+		cfg.RowServers = 120
+		cfg.Pretrain, cfg.Measure = 8*sim.Hour, 8*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	rows, err := experiment.RunOutage(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatOutage(os.Stdout, rows)
+	return nil
+}
+
+func runAblations(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultAblation()
+	if quick {
+		cfg.RowServers = 120
+		cfg.Warmup, cfg.Pretrain, cfg.Measure = sim.Hour, 12*sim.Hour, 12*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+
+	sel, err := experiment.RunSelectionAblation(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatAblation(os.Stdout, "freeze selection (§3.5)", sel)
+
+	rst, err := experiment.RunRStableAblation(cfg, nil)
+	if err != nil {
+		return err
+	}
+	experiment.FormatAblation(os.Stdout, "rstable hysteresis (§3.5)", rst)
+
+	et, err := experiment.RunEtPercentileAblation(cfg, nil)
+	if err != nil {
+		return err
+	}
+	experiment.FormatAblation(os.Stdout, "Et percentile (§3.6)", et)
+
+	hor, err := experiment.RunHorizonAblation(cfg, nil)
+	if err != nil {
+		return err
+	}
+	experiment.FormatAblation(os.Stdout, "RHC horizon (Lemma 3.1)", hor)
+
+	capr, err := experiment.RunCappingAblation(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatCappingAblation(os.Stdout, capr)
+	return nil
+}
+
+func runTable3(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultTable3()
+	if quick {
+		cfg.RowServers = 160
+		cfg.Warmup, cfg.Pretrain, cfg.Measure = sim.Hour, 12*sim.Hour, 12*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunTable3(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatTable3(os.Stdout, res)
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command ampere-sim runs one simulated data-center scenario and prints a
+// summary: per-row power statistics, violations, breaker state, scheduler
+// activity, and controller behaviour. Scenarios come from flags or from a
+// JSON file (see internal/scenario.Spec for the schema):
+//
+//	ampere-sim -rows 2 -row-servers 400 -hours 24 -target 0.76 -ro 0.25 -ampere
+//	ampere-sim -config scenario.json
+//
+// cmd/ampere-exp runs the paper's specific experiments; this tool is for
+// free-form exploration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		config     = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+		rows       = flag.Int("rows", 1, "number of rows")
+		rowServers = flag.Int("row-servers", 400, "servers per row (multiple of 20)")
+		hours      = flag.Int("hours", 24, "simulated hours (after a 2h warmup)")
+		target     = flag.Float64("target", 0.74, "steady row power target as a fraction of rated")
+		ro         = flag.Float64("ro", 0.25, "over-provisioning ratio (row budget = rated/(1+ro))")
+		ampere     = flag.Bool("ampere", false, "enable the Ampere controller")
+		capping    = flag.Bool("capping", false, "enable DVFS power capping")
+		breaker    = flag.Bool("breaker", false, "enable PDU circuit breakers (trips black out the row)")
+		kr         = flag.Float64("kr", 0, "control model gradient (0 = calibrated default)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		policy     = flag.String("policy", "random-fit", "placement policy: random-fit|least-loaded|best-fit|round-robin")
+		chooser    = flag.String("row-chooser", "proportional", "row selection: proportional|balance-rows|concentrate-rows")
+		amplitude  = flag.Float64("amplitude", 0.35, "diurnal amplitude of the workload")
+	)
+	flag.Parse()
+
+	var spec *scenario.Spec
+	if *config != "" {
+		f, err := os.Open(*config)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec = &scenario.Spec{
+			Seed:       *seed,
+			Rows:       *rows,
+			RowServers: *rowServers,
+			Hours:      *hours,
+			TargetFrac: *target,
+			Amplitude:  *amplitude,
+			RO:         *ro,
+			Ampere:     *ampere,
+			Capping:    *capping,
+			Breaker:    *breaker,
+			Kr:         *kr,
+			Policy:     *policy,
+			RowChooser: *chooser,
+		}
+	}
+
+	built, err := spec.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if err := built.Run(); err != nil {
+		fatal(err)
+	}
+	built.Report(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampere-sim:", err)
+	os.Exit(1)
+}

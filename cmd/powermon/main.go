@@ -1,0 +1,146 @@
+// Command powermon runs the power monitor against a live simulated cluster
+// and serves its time-series database over the RESTful HTTP API of §3.3.
+// The simulation advances continuously (one simulated minute per real
+// tick), optionally under Ampere control, so the API can be explored with
+// curl while power moves:
+//
+//	powermon -addr :8080 -tick 200ms -ampere
+//	curl 'http://localhost:8080/series'
+//	curl 'http://localhost:8080/query?name=row/0&from=0'
+//	curl 'http://localhost:8080/latest?name=dc'
+//	curl 'http://localhost:8080/status'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		tick       = flag.Duration("tick", 200*time.Millisecond, "real time per simulated minute")
+		rowServers = flag.Int("row-servers", 200, "servers per row")
+		rows       = flag.Int("rows", 2, "rows")
+		target     = flag.Float64("target", 0.75, "power target as fraction of rated")
+		ro         = flag.Float64("ro", 0.25, "over-provisioning ratio")
+		ampere     = flag.Bool("ampere", true, "run the Ampere controller")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *tick, *rows, *rowServers, *target, *ro, *ampere, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "powermon:", err)
+		os.Exit(1)
+	}
+}
+
+type status struct {
+	mu         sync.Mutex
+	SimTime    string    `json:"sim_time"`
+	SimMinutes int64     `json:"sim_minutes"`
+	RowPowerW  []float64 `json:"row_power_w"`
+	BudgetW    float64   `json:"row_budget_w"`
+	Frozen     []int     `json:"frozen_per_row"`
+	Violations []int64   `json:"violations_per_row"`
+}
+
+func run(addr string, tick time.Duration, rows, rowServers int, target, ro float64, ampere bool, seed uint64) error {
+	spec := cluster.DefaultSpec()
+	spec.Rows = rows
+	spec.ServersPerRack = 20
+	spec.RacksPerRow = rowServers / spec.ServersPerRack
+	if spec.RacksPerRow < 1 {
+		return fmt.Errorf("row-servers %d too small", rowServers)
+	}
+
+	dd := workload.DefaultDurations()
+	perServer := workload.RateForPowerFraction(target, spec.IdlePowerW, spec.RatedPowerW,
+		spec.Containers, dd.Mean()*0.95, 1.0)
+	product := workload.DefaultProduct("mixed", perServer*float64(spec.TotalServers()))
+
+	rig, err := experiment.NewRig(experiment.RigConfig{
+		Seed:      seed,
+		Cluster:   spec,
+		Products:  []workload.Product{product},
+		Retention: 7 * 24 * 60, // one week of minutes per series
+	})
+	if err != nil {
+		return err
+	}
+	rig.StartBase()
+
+	budget := spec.RowRatedPowerW() / (1 + ro)
+	var controller *core.Controller
+	if ampere {
+		domains := make([]core.Domain, rows)
+		for r := 0; r < rows; r++ {
+			ids := make([]cluster.ServerID, 0, rowServers)
+			for _, sv := range rig.Cluster.Row(r) {
+				ids = append(ids, sv.ID)
+			}
+			domains[r] = core.Domain{
+				Name: fmt.Sprintf("row/%d", r), Servers: ids, BudgetW: budget,
+				Kr: experiment.DefaultKr,
+			}
+		}
+		controller, err = core.New(rig.Eng, rig.Mon, rig.Sched, core.DefaultConfig(), domains)
+		if err != nil {
+			return err
+		}
+		controller.Start()
+	}
+
+	st := &status{BudgetW: budget}
+
+	// Simulation loop: one simulated minute per tick. The engine is
+	// single-threaded; only the thread-safe TSDB and the mutex-guarded
+	// status snapshot are shared with HTTP handlers.
+	go func() {
+		for range time.Tick(tick) {
+			next := rig.Eng.Now().Add(sim.Minute)
+			if err := rig.Run(next); err != nil {
+				log.Printf("simulation error: %v", err)
+				return
+			}
+			st.mu.Lock()
+			st.SimTime = rig.Eng.Now().String()
+			st.SimMinutes = rig.Eng.Now().Minute()
+			st.RowPowerW = st.RowPowerW[:0]
+			st.Frozen = st.Frozen[:0]
+			st.Violations = st.Violations[:0]
+			for r := 0; r < rows; r++ {
+				p, _ := rig.Mon.RowPower(r)
+				st.RowPowerW = append(st.RowPowerW, p)
+				if controller != nil {
+					st.Frozen = append(st.Frozen, controller.FrozenCount(r))
+					st.Violations = append(st.Violations, controller.Stats(r).Violations)
+				}
+			}
+			st.mu.Unlock()
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rig.DB.Handler())
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	log.Printf("powermon: serving %d×%d servers on %s (budget %.0f W/row, ampere=%v)",
+		rows, rowServers, addr, budget, ampere)
+	return http.ListenAndServe(addr, mux)
+}

@@ -1,0 +1,153 @@
+// Package breaker models the row PDU's physical circuit breaker — the
+// reason power violations matter at all: "the row-level power budget is
+// enforced by physical circuit breakers (fuses) in each PDU … it would cause
+// catastrophic service disruptions to cut down the power of hundreds of
+// servers at the same time" (§2.1). The breaker follows an inverse-time
+// curve modeled as a thermal accumulator: overload integrates heat, running
+// under budget dissipates it, and deep overloads trip fast while small ones
+// take minutes — the standard behaviour of thermal-magnetic breakers.
+package breaker
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the trip curve.
+type Config struct {
+	// BudgetW is the protected limit.
+	BudgetW float64
+	// Interval between draw evaluations (default 1 s).
+	Interval sim.Duration
+	// TripOverloadSeconds is the accumulated overload, in
+	// (fractional-overload × seconds), that trips the breaker: with the
+	// default 30, a steady 5 % overload trips after 10 minutes and a 50 %
+	// overload after one minute.
+	TripOverloadSeconds float64
+	// InstantFactor trips immediately regardless of accumulation (a
+	// magnetic trip); default 1.5.
+	InstantFactor float64
+	// CoolRate is the accumulator decay per second while at or under
+	// budget, as a fraction of the trip threshold (default: full reset
+	// over 10 minutes).
+	CoolRate float64
+}
+
+// DefaultConfig returns the curve described on Config.
+func DefaultConfig(budgetW float64) Config {
+	return Config{
+		BudgetW:             budgetW,
+		Interval:            sim.Second,
+		TripOverloadSeconds: 30,
+		InstantFactor:       1.5,
+	}
+}
+
+// Breaker protects one server set.
+type Breaker struct {
+	eng     *sim.Engine
+	cfg     Config
+	servers []*cluster.Server
+
+	heat      float64
+	tripped   bool
+	tripTime  sim.Time
+	onTrip    func(now sim.Time)
+	handle    *sim.Handle
+	evaluated int64
+}
+
+// New validates the config and builds a breaker over the servers.
+func New(eng *sim.Engine, cfg Config, servers []*cluster.Server) (*Breaker, error) {
+	if cfg.BudgetW <= 0 {
+		return nil, fmt.Errorf("breaker: budget %v must be positive", cfg.BudgetW)
+	}
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("breaker: no servers")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Second
+	}
+	if cfg.TripOverloadSeconds <= 0 {
+		cfg.TripOverloadSeconds = 30
+	}
+	if cfg.InstantFactor <= 1 {
+		cfg.InstantFactor = 1.5
+	}
+	if cfg.CoolRate <= 0 {
+		cfg.CoolRate = cfg.TripOverloadSeconds / 600 // full reset in 10 min
+	}
+	return &Breaker{eng: eng, cfg: cfg, servers: servers}, nil
+}
+
+// OnTrip registers the callback fired exactly once when the breaker opens.
+// The callback performs the blast-radius consequences (normally failing
+// every server via the scheduler).
+func (b *Breaker) OnTrip(fn func(now sim.Time)) { b.onTrip = fn }
+
+// Start begins evaluating the draw every interval.
+func (b *Breaker) Start() {
+	if b.handle != nil {
+		return
+	}
+	b.handle = b.eng.Every(b.eng.Now(), b.cfg.Interval, "pdu-breaker", b.step)
+}
+
+// Stop halts evaluation (the breaker state is preserved).
+func (b *Breaker) Stop() {
+	if b.handle != nil {
+		b.handle.Cancel()
+		b.handle = nil
+	}
+}
+
+// Tripped reports whether the breaker has opened, and when.
+func (b *Breaker) Tripped() (bool, sim.Time) { return b.tripped, b.tripTime }
+
+// Heat returns the thermal accumulator as a fraction of the trip threshold.
+func (b *Breaker) Heat() float64 { return b.heat / b.cfg.TripOverloadSeconds }
+
+// Reset closes the breaker again (after the operator clears the fault) and
+// zeroes the accumulator.
+func (b *Breaker) Reset() {
+	b.tripped = false
+	b.heat = 0
+}
+
+func (b *Breaker) step(now sim.Time) {
+	b.evaluated++
+	if b.tripped {
+		return
+	}
+	draw := 0.0
+	for _, sv := range b.servers {
+		draw += sv.DrawW()
+	}
+	dt := b.cfg.Interval.Seconds()
+	overload := draw/b.cfg.BudgetW - 1
+	switch {
+	case overload >= b.cfg.InstantFactor-1:
+		b.trip(now)
+		return
+	case overload > 0:
+		b.heat += overload * dt
+		if b.heat >= b.cfg.TripOverloadSeconds {
+			b.trip(now)
+		}
+	default:
+		b.heat -= b.cfg.CoolRate * dt
+		if b.heat < 0 {
+			b.heat = 0
+		}
+	}
+}
+
+func (b *Breaker) trip(now sim.Time) {
+	b.tripped = true
+	b.tripTime = now
+	if b.onTrip != nil {
+		b.onTrip(now)
+	}
+}

@@ -1,0 +1,37 @@
+package breaker_test
+
+import (
+	"fmt"
+
+	"repro/internal/breaker"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// A sustained 25 % overload trips the inverse-time breaker after about two
+// minutes (30 overload-seconds at 0.25/s).
+func ExampleBreaker() {
+	eng := sim.NewEngine()
+	spec := cluster.DefaultSpec()
+	spec.RacksPerRow, spec.ServersPerRack = 1, 4
+	spec.NoiseSigmaW = 0
+	c, err := cluster.New(spec, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, sv := range c.Servers {
+		sv.Allocate(spec.Containers, float64(spec.Containers)) // 4 × 250 W
+	}
+	b, err := breaker.New(eng, breaker.DefaultConfig(800), c.Servers)
+	if err != nil {
+		panic(err)
+	}
+	b.OnTrip(func(now sim.Time) {
+		fmt.Println("tripped at", now)
+	})
+	b.Start()
+	if err := eng.RunUntil(sim.Time(5 * sim.Minute)); err != nil {
+		panic(err)
+	}
+	// Output: tripped at d0 00:01:59.000
+}

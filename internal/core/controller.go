@@ -1,0 +1,508 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// PowerReader is everything the controller reads: the latest monitor samples
+// for its domains' servers. The production implementation is
+// monitor.Monitor; the controller itself never touches the cluster or the
+// scheduler state, matching the paper's architecture (Fig 3).
+type PowerReader interface {
+	ServerPower(id cluster.ServerID) (float64, bool)
+	GroupPower(ids []cluster.ServerID) (float64, bool)
+}
+
+// FreezeAPI is the controller's entire interface to the job scheduler — the
+// paper's two operations. It is structurally identical to scheduler.FreezeAPI
+// but re-declared here so core depends only on its own contract.
+type FreezeAPI interface {
+	Freeze(id cluster.ServerID) error
+	Unfreeze(id cluster.ServerID) error
+}
+
+// Domain is one independently controlled power domain: a row in production,
+// or a virtual server group in the controlled experiments of §4.1.2.
+type Domain struct {
+	Name    string
+	Servers []cluster.ServerID
+	// BudgetW is PM, the enforced power budget in watts. The operator may
+	// set it below the physical PDU limit for an extra safety margin (§3.2).
+	BudgetW float64
+	// Kr is the gradient of the linear control-effect model f(u) = Kr·u,
+	// normalized to the budget, per control interval. Fit it with FitKr
+	// from controlled-experiment data; zero selects Config.DefaultKr.
+	Kr float64
+	// Et predicts the next interval's demand increase. Nil selects a fresh
+	// HourlyEt that the controller trains online from its own observations.
+	Et EtEstimator
+}
+
+// Config holds controller-wide parameters.
+type Config struct {
+	// Interval between control actions; the paper uses one minute, matching
+	// the monitor frequency.
+	Interval sim.Duration
+	// RStable is the stability ratio (§3.5): a frozen server is only
+	// swapped for another when its power has dropped below RStable times
+	// the power of the coldest top-power server. The paper uses 0.8.
+	RStable float64
+	// MaxFreezeRatio caps the fraction of a domain's servers frozen at
+	// once; the paper's deployment limits it to 0.5 for operational
+	// reasons, at the cost of a rare violation under extreme surges.
+	MaxFreezeRatio float64
+	// DefaultKr is used by domains with Kr == 0.
+	DefaultKr float64
+	// EtPercentile and EtDefault configure the online HourlyEt estimators
+	// created for domains with Et == nil.
+	EtPercentile float64
+	EtDefault    float64
+	// EtMinSamples gates the hourly estimator onto real data.
+	EtMinSamples int
+	// Horizon is the receding-horizon depth N. The default 1 is the
+	// paper's simplified problem (SPCP, Eq. 13); larger values solve the
+	// general PCP (Eqs. 3–6) over N future intervals using the Et
+	// estimator's per-hour forecasts, which lets the controller pre-freeze
+	// ahead of a predicted surge larger than one interval can absorb.
+	Horizon int
+	// Selection picks which servers to freeze. The paper freezes the
+	// highest-power servers (SelectHottest); the alternatives exist for
+	// ablation studies quantifying that choice.
+	Selection SelectionPolicy
+	// SelectionSeed seeds SelectRandom's deterministic stream.
+	SelectionSeed uint64
+}
+
+// SelectionPolicy enumerates freeze-candidate orderings.
+type SelectionPolicy int
+
+const (
+	// SelectHottest freezes the highest-power servers first (the paper's
+	// choice: their jobs finish soonest relative to power saved, and cold
+	// servers keep their spare capacity available).
+	SelectHottest SelectionPolicy = iota
+	// SelectColdest freezes the lowest-power servers first.
+	SelectColdest
+	// SelectRandom freezes uniformly random servers.
+	SelectRandom
+)
+
+// String returns the policy name.
+func (s SelectionPolicy) String() string {
+	switch s {
+	case SelectHottest:
+		return "hottest"
+	case SelectColdest:
+		return "coldest"
+	case SelectRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", int(s))
+	}
+}
+
+// DefaultConfig returns the paper's deployment parameters.
+func DefaultConfig() Config {
+	return Config{
+		Interval:       sim.Minute,
+		RStable:        0.8,
+		MaxFreezeRatio: 0.5,
+		DefaultKr:      0.10,
+		EtPercentile:   99.5,
+		EtDefault:      0.05,
+		EtMinSamples:   30,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("core: non-positive interval %v", c.Interval)
+	case c.RStable <= 0 || c.RStable > 1:
+		return fmt.Errorf("core: RStable %v outside (0,1]", c.RStable)
+	case c.MaxFreezeRatio <= 0 || c.MaxFreezeRatio > 1:
+		return fmt.Errorf("core: MaxFreezeRatio %v outside (0,1]", c.MaxFreezeRatio)
+	case c.DefaultKr <= 0:
+		return fmt.Errorf("core: DefaultKr %v must be positive", c.DefaultKr)
+	case c.EtPercentile <= 0 || c.EtPercentile > 100:
+		return fmt.Errorf("core: EtPercentile %v outside (0,100]", c.EtPercentile)
+	case c.EtDefault < 0:
+		return fmt.Errorf("core: negative EtDefault %v", c.EtDefault)
+	case c.Horizon < 0:
+		return fmt.Errorf("core: negative horizon %d", c.Horizon)
+	}
+	return nil
+}
+
+// DomainStats aggregates one domain's control activity.
+type DomainStats struct {
+	Ticks int64
+	// Violations counts monitor samples with power strictly above budget.
+	Violations int64
+	// ControlledTicks counts ticks with a non-zero freeze target.
+	ControlledTicks int64
+	FreezeOps       int64
+	UnfreezeOps     int64
+	// APIErrors counts failed freeze/unfreeze calls (the controller keeps
+	// going; its set tracking only commits on success).
+	APIErrors int64
+	// USum accumulates the realized freezing ratio per tick; UMax is its
+	// maximum. UMean() = USum / Ticks.
+	USum float64
+	UMax float64
+	// PSum/PMax accumulate the normalized observed power.
+	PSum float64
+	PMax float64
+	// SkippedNoData counts ticks where the monitor had no sample (failure
+	// injection / startup races).
+	SkippedNoData int64
+}
+
+// UMean returns the average freezing ratio over all ticks.
+func (s DomainStats) UMean() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return s.USum / float64(s.Ticks)
+}
+
+// PMean returns the average normalized power over all ticks.
+func (s DomainStats) PMean() float64 {
+	if s.Ticks == 0 {
+		return 0
+	}
+	return s.PSum / float64(s.Ticks)
+}
+
+type domainState struct {
+	d      Domain
+	kr     float64
+	et     EtEstimator
+	hourly *HourlyEt // non-nil when the controller trains Et online
+	frozen map[cluster.ServerID]bool
+	stats  DomainStats
+
+	prevP    float64
+	prevT    sim.Time
+	havePrev bool
+}
+
+// Controller is the Ampere control loop. It is deliberately oblivious to
+// scheduling policy, job state and cluster topology: per tick it reads
+// power, decides a freezing ratio, and reconciles the frozen set through
+// FreezeAPI. Everything it needs to run can be rebuilt after a crash (see
+// Resync), matching the paper's stateless-controller claim.
+type Controller struct {
+	eng     *sim.Engine
+	reader  PowerReader
+	api     FreezeAPI
+	cfg     Config
+	domains []*domainState
+	handle  *sim.Handle
+	selRNG  *rand.Rand // only used by SelectRandom
+}
+
+// New validates inputs and builds a controller.
+func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains []Domain) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reader == nil || api == nil {
+		return nil, fmt.Errorf("core: nil reader or freeze API")
+	}
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("core: no domains to control")
+	}
+	ctl := &Controller{eng: eng, reader: reader, api: api, cfg: cfg}
+	if cfg.Selection == SelectRandom {
+		ctl.selRNG = sim.SubRNG(cfg.SelectionSeed, "controller-random-selection")
+	}
+	owner := make(map[cluster.ServerID]string)
+	for i, d := range domains {
+		if len(d.Servers) == 0 {
+			return nil, fmt.Errorf("core: domain %d (%s) has no servers", i, d.Name)
+		}
+		if d.BudgetW <= 0 {
+			return nil, fmt.Errorf("core: domain %d (%s) has budget %v", i, d.Name, d.BudgetW)
+		}
+		if d.Kr < 0 {
+			return nil, fmt.Errorf("core: domain %d (%s) has negative kr", i, d.Name)
+		}
+		for _, id := range d.Servers {
+			if prev, dup := owner[id]; dup {
+				// Two domains freezing the same server would fight over it
+				// and corrupt each other's frozen-set tracking.
+				return nil, fmt.Errorf("core: server %d in both domain %q and %q", id, prev, d.Name)
+			}
+			owner[id] = d.Name
+		}
+		ds := &domainState{
+			d:      d,
+			kr:     d.Kr,
+			et:     d.Et,
+			frozen: make(map[cluster.ServerID]bool),
+		}
+		if ds.kr == 0 {
+			ds.kr = cfg.DefaultKr
+		}
+		if ds.et == nil {
+			h, err := NewHourlyEt(cfg.EtPercentile, cfg.EtDefault, cfg.EtMinSamples)
+			if err != nil {
+				return nil, err
+			}
+			ds.et = h
+			ds.hourly = h
+		} else if h, ok := ds.et.(*HourlyEt); ok {
+			// A pre-trained hourly estimator keeps learning online.
+			ds.hourly = h
+		}
+		ctl.domains = append(ctl.domains, ds)
+	}
+	return ctl, nil
+}
+
+// Start schedules the periodic control loop beginning one interval from now
+// (the first monitor sample must exist first; start the monitor at time
+// zero and the controller immediately after).
+func (c *Controller) Start() {
+	if c.handle != nil {
+		return
+	}
+	c.handle = c.eng.Every(c.eng.Now(), c.cfg.Interval, "ampere-controller", c.Step)
+}
+
+// Stop halts the loop, leaving the current frozen set in place.
+func (c *Controller) Stop() {
+	if c.handle != nil {
+		c.handle.Cancel()
+		c.handle = nil
+	}
+}
+
+// Stats returns a copy of domain i's counters.
+func (c *Controller) Stats(i int) DomainStats { return c.domains[i].stats }
+
+// FrozenCount returns the number of servers domain i currently freezes.
+func (c *Controller) FrozenCount(i int) int { return len(c.domains[i].frozen) }
+
+// FreezeRatio returns domain i's current realized freezing ratio.
+func (c *Controller) FreezeRatio(i int) float64 {
+	ds := c.domains[i]
+	return float64(len(ds.frozen)) / float64(len(ds.d.Servers))
+}
+
+// HourlyEt returns domain i's online Et estimator, or nil when the domain
+// was configured with an external estimator.
+func (c *Controller) HourlyEt(i int) *HourlyEt { return c.domains[i].hourly }
+
+// Resync rebuilds the controller's frozen-set bookkeeping from ground truth
+// (e.g. after replacing a crashed controller instance: the scheduler knows
+// which servers are frozen). isFrozen is consulted for every domain member.
+func (c *Controller) Resync(isFrozen func(id cluster.ServerID) bool) {
+	for _, ds := range c.domains {
+		ds.frozen = make(map[cluster.ServerID]bool)
+		for _, id := range ds.d.Servers {
+			if isFrozen(id) {
+				ds.frozen[id] = true
+			}
+		}
+	}
+}
+
+// Step executes one control tick for every domain. It is driven by Start's
+// periodic event and exported for tests and manual stepping.
+func (c *Controller) Step(now sim.Time) {
+	for _, ds := range c.domains {
+		c.stepDomain(ds, now)
+	}
+}
+
+// stepDomain is Algorithm 1 for a single domain.
+func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
+	watts, ok := c.reader.GroupPower(ds.d.Servers)
+	if !ok {
+		ds.stats.SkippedNoData++
+		return
+	}
+	p := watts / ds.d.BudgetW
+	ds.stats.Ticks++
+	ds.stats.PSum += p
+	if p > ds.stats.PMax {
+		ds.stats.PMax = p
+	}
+	if p > 1.0 {
+		ds.stats.Violations++
+	}
+
+	// Feed the online Et estimator with the increase observed over the
+	// just-finished interval, attributed to the hour that interval started.
+	if ds.hourly != nil && ds.havePrev {
+		ds.hourly.Add(ds.prevT, p-ds.prevP)
+	}
+	ds.prevP, ds.prevT, ds.havePrev = p, now, true
+
+	et := ds.et.Estimate(now)
+	n := len(ds.d.Servers)
+
+	// F(Pk/PM): the SPCP closed form (Eq. 13) at horizon 1 — zero exactly
+	// when P is below the rthreshold = 1 − Et line of Fig 6 — or the first
+	// control of the exact horizon-N PCP solution when configured, which is
+	// identical under the paper's side conditions (Lemma 3.1) and stronger
+	// when a predicted surge exceeds one interval's control authority.
+	var u float64
+	if c.cfg.Horizon > 1 {
+		e := make([]float64, c.cfg.Horizon)
+		e[0] = et
+		for k := 1; k < c.cfg.Horizon; k++ {
+			e[k] = ds.et.Estimate(now.Add(sim.Duration(k) * c.cfg.Interval))
+		}
+		u = SolvePCPExact(p, e, 1.0, ds.kr, c.cfg.MaxFreezeRatio).U[0]
+	} else {
+		u = SolveSPCP(p, et, 1.0, ds.kr, c.cfg.MaxFreezeRatio)
+	}
+	nfreeze := int(u * float64(n)) // ⌊F(Pk/PM)·nk⌋
+	if nfreeze == 0 {
+		// No imminent violation: release everything.
+		c.unfreezeAll(ds)
+		c.recordU(ds)
+		return
+	}
+	ds.stats.ControlledTicks++
+
+	// Rank servers in freeze-preference order: by latest sampled power,
+	// hottest first under the paper's policy (ties by ID for determinism;
+	// servers without a sample sort last).
+	ranked := c.rankByPreference(ds)
+	top := ranked[:nfreeze]
+
+	// Candidate set S: the nfreeze preferred servers, plus — for stability
+	// under the hottest-first policy — every other server still hotter
+	// than rstable × the coldest member of the top set. A frozen server
+	// inside S is not cycled out merely because fresh jobs elsewhere
+	// overtook it. The ablation policies skip the stability augmentation:
+	// its threshold is meaningful only for a power-ordered preference.
+	inS := make(map[cluster.ServerID]bool, nfreeze*2)
+	for _, sp := range top {
+		inS[sp.id] = true
+	}
+	if c.cfg.Selection == SelectHottest {
+		pThreshold := c.cfg.RStable * top[nfreeze-1].power
+		for _, sp := range ranked[nfreeze:] {
+			if sp.power > pThreshold {
+				inS[sp.id] = true
+			}
+		}
+	}
+
+	// Unfreeze members that fell out of S (their power dropped enough).
+	for _, sp := range ranked {
+		if ds.frozen[sp.id] && !inS[sp.id] {
+			c.unfreeze(ds, sp.id)
+		}
+	}
+
+	// Adjust the frozen count to exactly nfreeze.
+	if len(ds.frozen) > nfreeze {
+		// Release the least-preferred frozen servers first (deterministic
+		// choice of the algorithm's "arbitrary" servers).
+		for i := len(ranked) - 1; i >= 0 && len(ds.frozen) > nfreeze; i-- {
+			if ds.frozen[ranked[i].id] {
+				c.unfreeze(ds, ranked[i].id)
+			}
+		}
+	} else if len(ds.frozen) < nfreeze {
+		// Freeze the hottest members of S not yet frozen.
+		for _, sp := range ranked {
+			if len(ds.frozen) >= nfreeze {
+				break
+			}
+			if inS[sp.id] && !ds.frozen[sp.id] {
+				c.freeze(ds, sp.id)
+			}
+		}
+	}
+	c.recordU(ds)
+}
+
+type serverPower struct {
+	id    cluster.ServerID
+	power float64
+}
+
+func (c *Controller) rankByPreference(ds *domainState) []serverPower {
+	ranked := make([]serverPower, 0, len(ds.d.Servers))
+	for _, id := range ds.d.Servers {
+		p, ok := c.reader.ServerPower(id)
+		if !ok {
+			p = -1 // no sample: least preferred
+		}
+		ranked = append(ranked, serverPower{id: id, power: p})
+	}
+	switch c.cfg.Selection {
+	case SelectColdest:
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].power != ranked[j].power {
+				return ranked[i].power < ranked[j].power
+			}
+			return ranked[i].id < ranked[j].id
+		})
+	case SelectRandom:
+		c.selRNG.Shuffle(len(ranked), func(i, j int) {
+			ranked[i], ranked[j] = ranked[j], ranked[i]
+		})
+	default: // SelectHottest
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].power != ranked[j].power {
+				return ranked[i].power > ranked[j].power
+			}
+			return ranked[i].id < ranked[j].id
+		})
+	}
+	return ranked
+}
+
+func (c *Controller) freeze(ds *domainState, id cluster.ServerID) {
+	if err := c.api.Freeze(id); err != nil {
+		ds.stats.APIErrors++
+		return
+	}
+	ds.frozen[id] = true
+	ds.stats.FreezeOps++
+}
+
+func (c *Controller) unfreeze(ds *domainState, id cluster.ServerID) {
+	if err := c.api.Unfreeze(id); err != nil {
+		ds.stats.APIErrors++
+		return
+	}
+	delete(ds.frozen, id)
+	ds.stats.UnfreezeOps++
+}
+
+func (c *Controller) unfreezeAll(ds *domainState) {
+	if len(ds.frozen) == 0 {
+		return
+	}
+	ids := make([]cluster.ServerID, 0, len(ds.frozen))
+	for id := range ds.frozen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c.unfreeze(ds, id)
+	}
+}
+
+func (c *Controller) recordU(ds *domainState) {
+	u := float64(len(ds.frozen)) / float64(len(ds.d.Servers))
+	ds.stats.USum += u
+	if u > ds.stats.UMax {
+		ds.stats.UMax = u
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The closed-form solution of the simplified power control problem
+// (Eq. 13): at 97 % of budget with a 5 % predicted rise and kr = 0.012, the
+// controller wants 100 % frozen but saturates at the 50 % operational cap.
+func ExampleSolveSPCP() {
+	u := core.SolveSPCP(0.97, 0.05, 1.0, 0.012, 0.5)
+	fmt.Printf("freeze ratio: %.2f\n", u)
+	// Output: freeze ratio: 0.50
+}
+
+// Fitting the control-effect gradient kr from controlled-experiment samples
+// (the Fig 5 procedure).
+func ExampleFitKr() {
+	samples := []core.ControlSample{
+		{U: 0.1, FU: 0.0012}, {U: 0.2, FU: 0.0026},
+		{U: 0.3, FU: 0.0034}, {U: 0.4, FU: 0.0049},
+		{U: 0.5, FU: 0.0058}, {U: 0.6, FU: 0.0074},
+	}
+	fit, err := core.FitKr(samples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kr = %.4f\n", fit.Slope)
+	// Output: kr = 0.0120
+}
+
+// The hour-of-day Et estimator (§3.6): conservative default until trained,
+// then the 99.5th percentile of observed increases for the matching hour.
+func ExampleHourlyEt() {
+	et, err := core.NewHourlyEt(99.5, 0.05, 10)
+	if err != nil {
+		panic(err)
+	}
+	nine := sim.Time(9 * sim.Hour)
+	fmt.Printf("untrained: %.3f\n", et.Estimate(nine))
+	for i := 0; i < 100; i++ {
+		et.Add(nine, 0.008)
+	}
+	fmt.Printf("trained:   %.3f\n", et.Estimate(nine))
+	// Output:
+	// untrained: 0.050
+	// trained:   0.008
+}
+
+// The exact horizon-N solver pre-freezes ahead of a forecast surge that
+// one interval's control authority cannot absorb.
+func ExampleSolvePCPExact() {
+	forecast := []float64{0.0, 0.0, 0.30} // 30 % surge two intervals out
+	res := core.SolvePCPExact(0.95, forecast, 1.0, 0.10, 1.0)
+	fmt.Printf("feasible: %v, controls: %.2f %.2f %.2f\n",
+		res.Feasible, res.U[0], res.U[1], res.U[2])
+	// Output: feasible: true, controls: 0.50 1.00 1.00
+}

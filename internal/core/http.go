@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// DomainStatus is the JSON view of one controlled domain, served by Handler.
+type DomainStatus struct {
+	Name            string  `json:"name"`
+	Servers         int     `json:"servers"`
+	BudgetW         float64 `json:"budget_w"`
+	Kr              float64 `json:"kr"`
+	Frozen          int     `json:"frozen"`
+	FreezeRatio     float64 `json:"freeze_ratio"`
+	Ticks           int64   `json:"ticks"`
+	Violations      int64   `json:"violations"`
+	ControlledTicks int64   `json:"controlled_ticks"`
+	FreezeOps       int64   `json:"freeze_ops"`
+	UnfreezeOps     int64   `json:"unfreeze_ops"`
+	APIErrors       int64   `json:"api_errors"`
+	UMean           float64 `json:"u_mean"`
+	UMax            float64 `json:"u_max"`
+	PMean           float64 `json:"p_mean"`
+	PMax            float64 `json:"p_max"`
+}
+
+// Status returns the current status of every domain.
+func (c *Controller) Status() []DomainStatus {
+	out := make([]DomainStatus, 0, len(c.domains))
+	for _, ds := range c.domains {
+		st := ds.stats
+		out = append(out, DomainStatus{
+			Name:            ds.d.Name,
+			Servers:         len(ds.d.Servers),
+			BudgetW:         ds.d.BudgetW,
+			Kr:              ds.kr,
+			Frozen:          len(ds.frozen),
+			FreezeRatio:     float64(len(ds.frozen)) / float64(len(ds.d.Servers)),
+			Ticks:           st.Ticks,
+			Violations:      st.Violations,
+			ControlledTicks: st.ControlledTicks,
+			FreezeOps:       st.FreezeOps,
+			UnfreezeOps:     st.UnfreezeOps,
+			APIErrors:       st.APIErrors,
+			UMean:           st.UMean(),
+			UMax:            st.UMax,
+			PMean:           st.PMean(),
+			PMax:            st.PMax,
+		})
+	}
+	return out
+}
+
+// Handler serves the controller's operator API:
+//
+//	GET /domains          → JSON array of DomainStatus
+//	GET /domains/{name}   → JSON DomainStatus for one domain
+//
+// It is read-only; control actions flow only through the control loop. The
+// handler must be served from the same goroutine discipline as the
+// simulation (e.g. behind cmd/powermon's snapshotting) or after the run
+// completes — the controller itself is not locked, matching its
+// single-threaded event-loop design.
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /domains", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("GET /domains/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		for _, st := range c.Status() {
+			if st.Name == name {
+				writeJSON(w, st)
+				return
+			}
+		}
+		http.Error(w, "no such domain: "+name, http.StatusNotFound)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestControllerStatusAndHandler(t *testing.T) {
+	reader := uniformReader(10, 120)
+	api := newFakeAPI()
+	ctl := newTestController(t, reader, api, 0.05)
+	ctl.Step(0)
+
+	sts := ctl.Status()
+	if len(sts) != 1 {
+		t.Fatalf("got %d domains", len(sts))
+	}
+	st := sts[0]
+	if st.Name != "grp" || st.Servers != 10 || st.BudgetW != 1000 {
+		t.Errorf("status identity wrong: %+v", st)
+	}
+	if st.Frozen != 5 || st.FreezeRatio != 0.5 {
+		t.Errorf("frozen state wrong: %+v", st)
+	}
+	if st.Violations != 1 || st.Ticks != 1 {
+		t.Errorf("counters wrong: %+v", st)
+	}
+
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/domains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []DomainStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Frozen != 5 {
+		t.Errorf("/domains = %+v", list)
+	}
+
+	resp, err = http.Get(srv.URL + "/domains/grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one DomainStatus
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.Name != "grp" || one.PMax != 1.2 {
+		t.Errorf("/domains/grp = %+v", one)
+	}
+
+	resp, err = http.Get(srv.URL + "/domains/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing domain status %d", resp.StatusCode)
+	}
+}

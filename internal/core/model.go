@@ -1,0 +1,146 @@
+// Package core implements the paper's primary contribution: the Ampere
+// statistical power controller. It periodically reads row-level (or
+// group-level) power from the monitor, estimates the next interval's power
+// increase Et from history, computes the freezing ratio with the receding
+// horizon control model of §3.6, and advises the job scheduler through
+// nothing but the freeze/unfreeze API (Algorithm 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ControlSample is one controlled-experiment measurement of the effect of
+// freezing: with freezing ratio U applied over one interval, the experiment
+// group's power ended FU lower than the control group's (both normalized to
+// the power budget). Fig 5 plots these samples.
+type ControlSample struct {
+	U  float64
+	FU float64
+}
+
+// FitKr estimates the gradient kr of the linear control-effect model
+// f(u) = kr·u from controlled-experiment samples, by least squares through
+// the origin (f(0) = 0 by construction). It returns an error when the
+// samples cannot identify a positive slope — a kr ≤ 0 would mean freezing
+// servers does not reduce power, so the model is unusable.
+func FitKr(samples []ControlSample) (stats.LinearFit, error) {
+	if len(samples) < 2 {
+		return stats.LinearFit{}, errors.New("core: need at least two control samples to fit kr")
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if s.U < 0 || s.U > 1 {
+			return stats.LinearFit{}, fmt.Errorf("core: control sample %d has freezing ratio %v outside [0,1]", i, s.U)
+		}
+		xs[i] = s.U
+		ys[i] = s.FU
+	}
+	fit, err := stats.FitLineThroughOrigin(xs, ys)
+	if err != nil {
+		return stats.LinearFit{}, err
+	}
+	if fit.Slope <= 0 {
+		return fit, fmt.Errorf("core: fitted kr %v is not positive; freezing shows no power effect", fit.Slope)
+	}
+	return fit, nil
+}
+
+// EtEstimator predicts the normalized power-demand increase over the next
+// control interval; 1 − Et defines the controller's safety threshold.
+type EtEstimator interface {
+	// Estimate returns Et (as a fraction of the power budget) for the
+	// interval starting at now.
+	Estimate(now sim.Time) float64
+}
+
+// ConstantEt is a fixed safety margin, used in ablations and as a fallback.
+type ConstantEt float64
+
+// Estimate implements EtEstimator.
+func (c ConstantEt) Estimate(sim.Time) float64 { return float64(c) }
+
+// HourlyEt is the paper's data-driven estimator (§3.6): it bins observed
+// 1-minute power increases by hour of day and predicts the configured
+// percentile (99.5 by default) of the bin matching the current hour —
+// "preparing for almost the largest change in observed history". It is safe
+// for concurrent use.
+type HourlyEt struct {
+	mu sync.Mutex
+	// Percentile of the per-hour increase distribution to use.
+	pct float64
+	// def is returned while a bin has too few observations.
+	def  float64
+	bins [24][]float64
+	// cached percentile per bin, invalidated on Add.
+	cache [24]float64
+	dirty [24]bool
+	// minSamples gates the switch from def to the data-driven estimate.
+	minSamples int
+}
+
+// NewHourlyEt builds an estimator using the given percentile (e.g. 99.5) and
+// a conservative default margin used until a bin has at least minSamples
+// observations.
+func NewHourlyEt(percentile, defaultEt float64, minSamples int) (*HourlyEt, error) {
+	if percentile <= 0 || percentile > 100 {
+		return nil, fmt.Errorf("core: Et percentile %v outside (0, 100]", percentile)
+	}
+	if defaultEt < 0 {
+		return nil, fmt.Errorf("core: negative default Et %v", defaultEt)
+	}
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	h := &HourlyEt{pct: percentile, def: defaultEt, minSamples: minSamples}
+	for i := range h.dirty {
+		h.dirty[i] = true
+	}
+	return h, nil
+}
+
+// Add records a normalized power increase observed over the interval that
+// started at t. Negative deltas (power decreases) are recorded too: they are
+// part of the distribution, though high percentiles ignore them.
+func (h *HourlyEt) Add(t sim.Time, delta float64) {
+	hr := t.HourOfDay()
+	h.mu.Lock()
+	h.bins[hr] = append(h.bins[hr], delta)
+	h.dirty[hr] = true
+	h.mu.Unlock()
+}
+
+// Samples returns the number of observations in the bin for hour hr.
+func (h *HourlyEt) Samples(hr int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.bins[hr%24])
+}
+
+// Estimate implements EtEstimator.
+func (h *HourlyEt) Estimate(now sim.Time) float64 {
+	hr := now.HourOfDay()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bin := h.bins[hr]
+	if len(bin) < h.minSamples {
+		return h.def
+	}
+	if h.dirty[hr] {
+		h.cache[hr] = stats.Percentile(bin, h.pct)
+		h.dirty[hr] = false
+	}
+	et := h.cache[hr]
+	if et < 0 {
+		// A uniformly decreasing hour still gets a non-negative margin:
+		// Et < 0 would raise the threshold above the budget.
+		et = 0
+	}
+	return et
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements §4.4's capacity-planning decision: choosing the
+// over-provisioning ratio rO from observed power history. The paper reasons
+// from a month of row power percentiles ("the 85th and the 95th percentile
+// power is 0.909 and 0.924 scaled to match rO, which means most of the time
+// GTPW will be at least 15%") and picks the ratio balancing gain against
+// safety; PlanRO mechanizes exactly that trade.
+
+// GTPW returns the gain in throughput-per-provisioned-watt for a measured
+// throughput ratio under an over-provisioning ratio (Eq. 18):
+// GTPW = rT·(1+rO) − 1.
+func GTPW(rT, rO float64) float64 { return rT*(1+rO) - 1 }
+
+// ROOption is the planner's assessment of one candidate ratio.
+type ROOption struct {
+	RO float64
+	// ExpectedGTPW uses the demand model: samples that fit under the scaled
+	// budget contribute full throughput; over-budget demand d > 1
+	// contributes only 1/d (the controller can admit work only up to the
+	// budget).
+	ExpectedGTPW float64
+	// OverloadFrac is the fraction of samples whose demand exceeds the
+	// scaled budget — time the controller must actively suppress load.
+	OverloadFrac float64
+	// P95Demand is the 95th-percentile demand normalized to the scaled
+	// budget.
+	P95Demand float64
+}
+
+// ROPlan is the full planner output, sorted by candidate ratio.
+type ROPlan struct {
+	Options []ROOption
+	// Best is the highest-ExpectedGTPW option whose OverloadFrac satisfies
+	// the safety bound; nil when none qualifies.
+	Best *ROOption
+}
+
+// PlanRO evaluates candidate over-provisioning ratios against observed power
+// history. powerFracs are power samples normalized to the *unscaled* rated
+// provisioning (the natural output of a monitoring month: watts / rated);
+// maxOverloadFrac bounds the accepted fraction of over-budget time (the
+// safety appetite — the paper tolerates only rare control saturation).
+func PlanRO(powerFracs []float64, candidates []float64, maxOverloadFrac float64) (*ROPlan, error) {
+	if len(powerFracs) == 0 {
+		return nil, fmt.Errorf("core: no power history")
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate ratios")
+	}
+	if maxOverloadFrac < 0 || maxOverloadFrac > 1 {
+		return nil, fmt.Errorf("core: overload bound %v outside [0,1]", maxOverloadFrac)
+	}
+	for _, f := range powerFracs {
+		if f < 0 || f > 2 {
+			return nil, fmt.Errorf("core: power fraction %v implausible (want watts/rated in [0,2])", f)
+		}
+	}
+	cands := append([]float64(nil), candidates...)
+	sort.Float64s(cands)
+
+	plan := &ROPlan{}
+	for _, ro := range cands {
+		if ro < 0 {
+			return nil, fmt.Errorf("core: negative candidate ratio %v", ro)
+		}
+		opt := ROOption{RO: ro}
+		scaled := make([]float64, len(powerFracs))
+		var rtSum float64
+		over := 0
+		for i, f := range powerFracs {
+			d := f * (1 + ro) // demand normalized to the scaled budget
+			scaled[i] = d
+			if d > 1 {
+				over++
+				rtSum += 1 / d
+			} else {
+				rtSum += 1
+			}
+		}
+		rt := rtSum / float64(len(powerFracs))
+		opt.ExpectedGTPW = GTPW(rt, ro)
+		opt.OverloadFrac = float64(over) / float64(len(powerFracs))
+		sort.Float64s(scaled)
+		opt.P95Demand = scaled[int(0.95*float64(len(scaled)-1))]
+		plan.Options = append(plan.Options, opt)
+	}
+	for i := range plan.Options {
+		o := &plan.Options[i]
+		if o.OverloadFrac > maxOverloadFrac {
+			continue
+		}
+		if plan.Best == nil || o.ExpectedGTPW > plan.Best.ExpectedGTPW {
+			plan.Best = o
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestGTPW(t *testing.T) {
+	// The paper's worked examples (§4.4).
+	if got := GTPW(0.9, 0.25); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("GTPW(0.9, 0.25) = %v, want 0.125", got)
+	}
+	if got := GTPW(1.0, 0.17); math.Abs(got-0.17) > 1e-12 {
+		t.Errorf("GTPW(1, 0.17) = %v, want 0.17", got)
+	}
+	if got := GTPW(0.8, 0.25); math.Abs(got-0.0) > 1e-12 {
+		t.Errorf("GTPW(0.8, 0.25) = %v, want 0", got)
+	}
+}
+
+// syntheticMonth builds a power-fraction history: mostly moderate with a
+// heavy tail, like the paper's month of row power.
+func syntheticMonth(mean, spread float64, n int, seed uint64) []float64 {
+	r := sim.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		f := mean + spread*r.NormFloat64()
+		if f < 0.60 {
+			f = 0.60 // idle floor
+		}
+		if f > 1 {
+			f = 1
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestPlanROPicksModerateRatio(t *testing.T) {
+	// A fleet averaging 72 % of rated with mild spread: aggressive ratios
+	// overload too often, tiny ratios waste gain.
+	hist := syntheticMonth(0.72, 0.03, 20000, 1)
+	plan, err := PlanRO(hist, []float64{0.09, 0.13, 0.17, 0.21, 0.25, 0.35}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Best == nil {
+		t.Fatal("no feasible ratio")
+	}
+	t.Logf("best rO = %.2f (GTPW %.3f, overload %.3f)",
+		plan.Best.RO, plan.Best.ExpectedGTPW, plan.Best.OverloadFrac)
+	for _, o := range plan.Options {
+		t.Logf("  rO %.2f: gtpw %.3f overload %.3f p95 %.3f",
+			o.RO, o.ExpectedGTPW, o.OverloadFrac, o.P95Demand)
+	}
+	if plan.Best.RO < 0.13 || plan.Best.RO > 0.30 {
+		t.Errorf("best rO %.2f not moderate", plan.Best.RO)
+	}
+	// The chosen option respects the safety bound.
+	if plan.Best.OverloadFrac > 0.05 {
+		t.Errorf("best overload %.3f exceeds bound", plan.Best.OverloadFrac)
+	}
+}
+
+func TestPlanROHeavierLoadLowersRatio(t *testing.T) {
+	candidates := []float64{0.09, 0.13, 0.17, 0.21, 0.25}
+	light, err := PlanRO(syntheticMonth(0.68, 0.03, 20000, 2), candidates, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := PlanRO(syntheticMonth(0.80, 0.03, 20000, 2), candidates, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.Best == nil || heavy.Best == nil {
+		t.Fatal("no feasible ratio")
+	}
+	if heavy.Best.RO >= light.Best.RO {
+		t.Errorf("heavier load chose rO %.2f ≥ lighter load's %.2f",
+			heavy.Best.RO, light.Best.RO)
+	}
+}
+
+func TestPlanROValidation(t *testing.T) {
+	good := []float64{0.7, 0.75}
+	if _, err := PlanRO(nil, []float64{0.17}, 0.05); err == nil {
+		t.Error("empty history accepted")
+	}
+	if _, err := PlanRO(good, nil, 0.05); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := PlanRO(good, []float64{0.17}, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := PlanRO(good, []float64{-0.1}, 0.05); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if _, err := PlanRO([]float64{5}, []float64{0.17}, 0.05); err == nil {
+		t.Error("implausible power fraction accepted")
+	}
+}
+
+// Property: with an infinite safety appetite and demand that never overloads
+// at any candidate, the planner picks the largest ratio (GTPW is monotone in
+// rO when rT stays 1); and Best, when set, always satisfies the bound.
+func TestPlanROProperty(t *testing.T) {
+	f := func(raw []uint8, boundRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		hist := make([]float64, len(raw))
+		for i, v := range raw {
+			hist[i] = 0.6 + float64(v%20)/100 // 0.60 … 0.79
+		}
+		cands := []float64{0.05, 0.10, 0.15, 0.20, 0.25}
+		bound := float64(boundRaw%101) / 100
+		plan, err := PlanRO(hist, cands, bound)
+		if err != nil {
+			return false
+		}
+		if plan.Best != nil && plan.Best.OverloadFrac > bound {
+			return false
+		}
+		// With max demand 0.79, 1.25×0.79 < 1: no overload anywhere, so the
+		// largest candidate must win regardless of bound.
+		if plan.Best == nil || plan.Best.RO != 0.25 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Property: for arbitrary power trajectories, after every control tick
+// (a) the frozen count never exceeds ⌊MaxFreezeRatio·n⌋,
+// (b) the controller's bookkeeping matches the scheduler's ground truth, and
+// (c) freeze ratio statistics stay within [0, MaxFreezeRatio].
+func TestControllerInvariantsProperty(t *testing.T) {
+	const n = 12
+	f := func(powerSeq [][16]uint8) bool {
+		reader := uniformReader(n, 100)
+		api := newFakeAPI()
+		cfg := DefaultConfig()
+		d := Domain{Name: "g", Servers: ids(n), BudgetW: 1000, Kr: 0.05, Et: ConstantEt(0.03)}
+		ctl, err := New(sim.NewEngine(), reader, api, cfg, []Domain{d})
+		if err != nil {
+			return false
+		}
+		maxFrozen := int(cfg.MaxFreezeRatio * n)
+		for step, pw := range powerSeq {
+			if step > 50 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				reader.servers[cluster.ServerID(i)] = 60 + float64(pw[i%16])/2 // 60…187 W
+			}
+			ctl.Step(sim.Time(step) * sim.Time(sim.Minute))
+
+			if got := ctl.FrozenCount(0); got > maxFrozen {
+				return false
+			}
+			if ctl.FrozenCount(0) != len(api.frozen) {
+				return false
+			}
+			for id := range api.frozen {
+				if int(id) < 0 || int(id) >= n {
+					return false
+				}
+			}
+			st := ctl.Stats(0)
+			if st.UMax > cfg.MaxFreezeRatio+1e-9 || st.UMean() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a controller replacement resynced from ground truth behaves
+// identically to the original from that point on (statelessness).
+func TestControllerStatelessnessProperty(t *testing.T) {
+	const n = 10
+	f := func(before, after [8]uint8) bool {
+		set := func(r *fakeReader, pw [8]uint8) {
+			for i := 0; i < n; i++ {
+				r.servers[cluster.ServerID(i)] = 70 + float64(pw[i%8])/2
+			}
+		}
+		run := func(restart bool) map[cluster.ServerID]bool {
+			reader := uniformReader(n, 100)
+			api := newFakeAPI()
+			mk := func() *Controller {
+				d := Domain{Name: "g", Servers: ids(n), BudgetW: 900, Kr: 0.05, Et: ConstantEt(0.03)}
+				ctl, err := New(sim.NewEngine(), reader, api, DefaultConfig(), []Domain{d})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ctl
+			}
+			ctl := mk()
+			set(reader, before)
+			ctl.Step(0)
+			if restart {
+				ctl = mk()
+				ctl.Resync(func(id cluster.ServerID) bool { return api.frozen[id] })
+			}
+			set(reader, after)
+			ctl.Step(sim.Time(sim.Minute))
+			out := map[cluster.ServerID]bool{}
+			for id := range api.frozen {
+				out[id] = true
+			}
+			return out
+		}
+		a, b := run(false), run(true)
+		if len(a) != len(b) {
+			return false
+		}
+		for id := range a {
+			if !b[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSPCP(t *testing.T) {
+	cases := []struct {
+		p, et, pm, kr, maxU float64
+		want                float64
+	}{
+		{0.90, 0.02, 1.0, 0.10, 1.0, 0},    // under threshold
+		{0.95, 0.05, 1.0, 0.10, 1.0, 0},    // exactly at threshold
+		{0.98, 0.05, 1.0, 0.10, 1.0, 0.30}, // (0.98+0.05−1)/0.1
+		{1.05, 0.05, 1.0, 0.10, 1.0, 1.0},  // clamp high
+		{1.05, 0.05, 1.0, 0.10, 0.5, 0.5},  // clamp at operational max
+		{0.50, 0.00, 1.0, 0.10, 1.0, 0},    // far below
+	}
+	for _, c := range cases {
+		got := SolveSPCP(c.p, c.et, c.pm, c.kr, c.maxU)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SolveSPCP(%v,%v,%v,%v,%v) = %v, want %v", c.p, c.et, c.pm, c.kr, c.maxU, got, c.want)
+		}
+	}
+}
+
+func TestSolveSPCPPanicsOnBadKr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kr=0 did not panic")
+		}
+	}()
+	SolveSPCP(1, 0, 1, 0, 1)
+}
+
+func TestSolvePCPLinearMatchesSPCPSequence(t *testing.T) {
+	kr := 0.12
+	p0 := 0.97
+	e := []float64{0.03, 0.05, -0.02, 0.04}
+	res := SolvePCP(p0, e, 1.0, Linear(kr), 1.0)
+	if !res.Feasible {
+		t.Fatal("feasible problem reported infeasible")
+	}
+	// Replaying SPCP step by step must give the identical sequence
+	// (Lemma 3.1's construction).
+	p := p0
+	for k, ek := range e {
+		u := SolveSPCP(p, ek, 1.0, kr, 1.0)
+		if math.Abs(u-res.U[k]) > 1e-9 {
+			t.Errorf("step %d: PCP u=%v, SPCP u=%v", k, res.U[k], u)
+		}
+		p = p + ek - kr*u
+		if math.Abs(p-res.P[k]) > 1e-9 {
+			t.Errorf("step %d: trajectory %v vs %v", k, res.P[k], p)
+		}
+		if p > 1.0+1e-9 {
+			t.Errorf("step %d: feasible solution exceeds budget: %v", k, p)
+		}
+	}
+}
+
+func TestSolvePCPInfeasible(t *testing.T) {
+	// Demand rises faster than the maximum control can absorb.
+	res := SolvePCP(0.99, []float64{0.30}, 1.0, Linear(0.10), 0.5)
+	if res.Feasible {
+		t.Error("infeasible problem reported feasible")
+	}
+	if res.U[0] != 0.5 {
+		t.Errorf("infeasible step should saturate at maxU: %v", res.U[0])
+	}
+	if res.P[0] <= 1.0 {
+		t.Errorf("infeasible trajectory should exceed budget: %v", res.P[0])
+	}
+}
+
+func TestSolvePCPNonlinearEffect(t *testing.T) {
+	// Concave effect: f(u) = 0.2·sqrt(u), still monotone with f(0)=0.
+	f := func(u float64) float64 { return 0.2 * math.Sqrt(u) }
+	res := SolvePCP(1.0, []float64{0.10}, 1.0, f, 1.0)
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+	// Need f(u) = 0.10 → u = 0.25.
+	if math.Abs(res.U[0]-0.25) > 1e-9 {
+		t.Errorf("u = %v, want 0.25", res.U[0])
+	}
+	if math.Abs(res.P[0]-1.0) > 1e-9 {
+		t.Errorf("power lands at %v, want exactly 1.0", res.P[0])
+	}
+}
+
+func TestSolvePCPPanicsOnBadMaxU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxU=0 did not panic")
+		}
+	}()
+	SolvePCP(1, []float64{0.1}, 1, Linear(0.1), 0)
+}
+
+func TestSolvePCPZeroHorizon(t *testing.T) {
+	res := SolvePCP(1.2, nil, 1.0, Linear(0.1), 1.0)
+	if len(res.U) != 0 || res.Cost != 0 || !res.Feasible {
+		t.Errorf("zero-horizon result %+v", res)
+	}
+}
+
+// bruteForcePCP exhaustively searches a u-grid for the feasible sequence of
+// minimum total cost — the reference implementation for Lemma 3.1.
+func bruteForcePCP(p0 float64, e []float64, pm, kr float64, grid int) (bestCost float64, feasible bool) {
+	bestCost = math.Inf(1)
+	var rec func(k int, p, cost float64)
+	rec = func(k int, p, cost float64) {
+		if cost >= bestCost {
+			return
+		}
+		if k == len(e) {
+			bestCost = cost
+			feasible = true
+			return
+		}
+		for i := 0; i <= grid; i++ {
+			u := float64(i) / float64(grid)
+			next := p + e[k] - kr*u
+			if next <= pm+1e-12 {
+				rec(k+1, next, cost+u)
+			}
+		}
+	}
+	rec(0, p0, 0)
+	return bestCost, feasible
+}
+
+// Property (Lemma 3.1): under the paper's side conditions — P_t0 ≤ PM,
+// E_k ≥ 0, and E_k ≤ kr·maxU so that control never saturates ("if all
+// servers are frozen, the row-level power will not rise") — the per-step
+// SPCP sequence computed by SolvePCP is optimal for the whole-horizon PCP:
+// it is feasible, no feasible grid sequence costs less, and it matches the
+// exact solver.
+func TestLemma31Property(t *testing.T) {
+	f := func(p0Raw, krRaw uint8, eRaw []uint8) bool {
+		p0 := 0.8 + float64(p0Raw%21)/100 // 0.80 … 1.00 (≤ PM)
+		kr := 0.05 + float64(krRaw%20)/100
+		horizon := len(eRaw)
+		if horizon > 4 {
+			horizon = 4
+		}
+		e := make([]float64, horizon)
+		for i := 0; i < horizon; i++ {
+			e[i] = kr * float64(eRaw[i]%10) / 10 // 0 … 0.9·kr, strictly inside the lemma region
+		}
+		res := SolvePCP(p0, e, 1.0, Linear(kr), 1.0)
+		if !res.Feasible {
+			return false // lemma guarantees feasibility here
+		}
+		exact := SolvePCPExact(p0, e, 1.0, kr, 1.0)
+		if !exact.Feasible || res.Cost > exact.Cost+1e-9 {
+			return false
+		}
+		const grid = 40
+		bfCost, bfFeasible := bruteForcePCP(p0, e, 1.0, kr, grid)
+		if !bfFeasible {
+			return false
+		}
+		// Greedy must be no worse than the best grid solution (the grid is
+		// coarser, so allow its discretization slack of one step per stage).
+		slack := float64(horizon) / grid
+		return res.Cost <= bfCost+slack+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvePCPExactPreFreezes(t *testing.T) {
+	// A surge of E=0.30 with kr=0.10 cannot be absorbed in one step
+	// (stepwise SPCP saturates and violates); the exact solver freezes in
+	// advance and stays feasible.
+	p0 := 0.95
+	e := []float64{0.0, 0.0, 0.30}
+	greedy := SolvePCP(p0, e, 1.0, Linear(0.10), 1.0)
+	if greedy.Feasible {
+		t.Fatal("stepwise solver unexpectedly feasible")
+	}
+	exact := SolvePCPExact(p0, e, 1.0, 0.10, 1.0)
+	if !exact.Feasible {
+		t.Fatal("exact solver infeasible on a feasible instance")
+	}
+	for k, p := range exact.P {
+		if p > 1.0+1e-9 {
+			t.Errorf("exact trajectory exceeds budget at step %d: %v", k, p)
+		}
+	}
+	if exact.U[0]+exact.U[1] == 0 {
+		t.Error("exact solver did not pre-freeze ahead of the surge")
+	}
+	// Total control matches the cumulative requirement exactly:
+	// R = (0.95 + 0.30 − 1)/0.10 = 2.5.
+	if math.Abs(exact.Cost-2.5) > 1e-9 {
+		t.Errorf("exact cost %v, want 2.5", exact.Cost)
+	}
+}
+
+func TestSolvePCPExactInfeasible(t *testing.T) {
+	// Even instant saturation cannot absorb the first-step surge.
+	res := SolvePCPExact(0.99, []float64{0.50, 0.0}, 1.0, 0.10, 0.5)
+	if res.Feasible {
+		t.Error("infeasible instance reported feasible")
+	}
+	if res.U[0] != 0.5 {
+		t.Errorf("first step should saturate: %v", res.U[0])
+	}
+	if res.P[0] <= 1.0 {
+		t.Errorf("first step should exceed budget: %v", res.P[0])
+	}
+}
+
+func TestSolvePCPExactMatchesGreedyUnderLemmaConditions(t *testing.T) {
+	p0 := 0.97
+	kr := 0.12
+	e := []float64{0.02, 0.05, 0.0, 0.10}
+	g := SolvePCP(p0, e, 1.0, Linear(kr), 1.0)
+	x := SolvePCPExact(p0, e, 1.0, kr, 1.0)
+	if !g.Feasible || !x.Feasible {
+		t.Fatal("expected both feasible")
+	}
+	if math.Abs(g.Cost-x.Cost) > 1e-9 {
+		t.Errorf("costs differ: greedy %v, exact %v", g.Cost, x.Cost)
+	}
+}
+
+func TestSolvePCPExactPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"kr":   func() { SolvePCPExact(1, []float64{0.1}, 1, 0, 1) },
+		"maxU": func() { SolvePCPExact(1, []float64{0.1}, 1, 0.1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the exact solver never costs more than stepwise SPCP, and its
+// feasible trajectories respect the budget.
+func TestExactDominatesGreedyProperty(t *testing.T) {
+	f := func(p0Raw uint8, eRaw []int8) bool {
+		p0 := 0.8 + float64(p0Raw%35)/100
+		e := make([]float64, 0, 5)
+		for i, v := range eRaw {
+			if i == 5 {
+				break
+			}
+			e = append(e, float64(v%15)/100) // −0.14 … 0.14
+		}
+		g := SolvePCP(p0, e, 1.0, Linear(0.1), 1.0)
+		x := SolvePCPExact(p0, e, 1.0, 0.1, 1.0)
+		if g.Feasible && !x.Feasible {
+			return false // exact must be feasible whenever greedy is
+		}
+		if x.Feasible && g.Feasible && x.Cost > g.Cost+1e-9 {
+			return false
+		}
+		if x.Feasible {
+			for _, p := range x.P {
+				if p > 1.0+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the solved trajectory never exceeds the budget while feasible,
+// and controls always lie in [0, maxU].
+func TestPCPBoundsProperty(t *testing.T) {
+	f := func(p0Raw uint8, eRaw []int8, maxURaw uint8) bool {
+		p0 := 0.7 + float64(p0Raw%40)/100
+		maxU := 0.1 + float64(maxURaw%90)/100
+		e := make([]float64, 0, len(eRaw))
+		for _, v := range eRaw {
+			e = append(e, float64(v%12)/100)
+		}
+		res := SolvePCP(p0, e, 1.0, Linear(0.1), maxU)
+		for k, u := range res.U {
+			if u < 0 || u > maxU+1e-12 {
+				return false
+			}
+			if res.Feasible && res.P[k] > 1.0+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

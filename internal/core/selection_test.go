@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newSelectionController(t *testing.T, sel SelectionPolicy, reader PowerReader, api FreezeAPI) *Controller {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Selection = sel
+	cfg.SelectionSeed = 7
+	d := Domain{Name: "g", Servers: ids(10), BudgetW: 1000, Kr: 0.10, Et: ConstantEt(0.05)}
+	ctl, err := New(sim.NewEngine(), reader, api, cfg, []Domain{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func gradientReader() *fakeReader {
+	// Server i draws 80 + 5i watts: total 1025 → p = 1.025.
+	f := &fakeReader{servers: map[cluster.ServerID]float64{}}
+	for i := 0; i < 10; i++ {
+		f.servers[cluster.ServerID(i)] = 80 + 5*float64(i)
+	}
+	return f
+}
+
+func TestSelectColdestFreezesLowPowerServers(t *testing.T) {
+	api := newFakeAPI()
+	ctl := newSelectionController(t, SelectColdest, gradientReader(), api)
+	ctl.Step(0)
+	if len(api.frozen) == 0 {
+		t.Fatal("nothing frozen")
+	}
+	for id := range api.frozen {
+		if id >= cluster.ServerID(len(api.frozen)) {
+			t.Errorf("coldest policy froze server %d (power-ordered ids)", id)
+		}
+	}
+}
+
+func TestSelectHottestFreezesHighPowerServers(t *testing.T) {
+	api := newFakeAPI()
+	ctl := newSelectionController(t, SelectHottest, gradientReader(), api)
+	ctl.Step(0)
+	n := len(api.frozen)
+	if n == 0 {
+		t.Fatal("nothing frozen")
+	}
+	for id := range api.frozen {
+		if id < cluster.ServerID(10-n) {
+			t.Errorf("hottest policy froze server %d of 10 with %d frozen", id, n)
+		}
+	}
+}
+
+func TestSelectRandomIsDeterministicPerSeed(t *testing.T) {
+	run := func() map[cluster.ServerID]bool {
+		api := newFakeAPI()
+		ctl := newSelectionController(t, SelectRandom, gradientReader(), api)
+		ctl.Step(0)
+		return api.frozen
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("frozen sets %v vs %v", a, b)
+	}
+	for id := range a {
+		if !b[id] {
+			t.Fatalf("random selection not reproducible: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSelectionPolicyString(t *testing.T) {
+	if SelectHottest.String() != "hottest" || SelectColdest.String() != "coldest" ||
+		SelectRandom.String() != "random" {
+		t.Error("policy names wrong")
+	}
+	if SelectionPolicy(99).String() == "" {
+		t.Error("unknown policy has empty name")
+	}
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFig7DurationShape(t *testing.T) {
+	res := RunFig7(7, 50000)
+	if res.MeanMinutes < 7.5 || res.MeanMinutes > 10 {
+		t.Errorf("mean duration %.2f min, want ≈9", res.MeanMinutes)
+	}
+	if res.FracWithin2 < 0.36 || res.FracWithin2 > 0.44 {
+		t.Errorf("P(≤2min) %.3f, want ≈0.40", res.FracWithin2)
+	}
+	if len(res.CDF) == 0 || res.CDF[len(res.CDF)-1].Frac != 1 {
+		t.Error("CDF malformed")
+	}
+}
+
+func TestFig1UtilizationOrdering(t *testing.T) {
+	cfg := Fig1Config{Seed: 1, Rows: 4, RowServers: 80,
+		Warmup: time1h(), Measure: 12 * sim.Hour}
+	res, err := RunFig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig1: mean rack/row/dc = %.3f/%.3f/%.3f  p99 = %.3f/%.3f/%.3f",
+		res.MeanRack, res.MeanRow, res.MeanDC, res.P99Rack, res.P99Row, res.P99DC)
+	// Statistical multiplexing: peaks shrink with aggregation level.
+	if !(res.P99Rack >= res.P99Row && res.P99Row >= res.P99DC) {
+		t.Errorf("p99 ordering violated: rack %.3f row %.3f dc %.3f",
+			res.P99Rack, res.P99Row, res.P99DC)
+	}
+	if res.MeanDC < 0.55 || res.MeanDC > 0.85 {
+		t.Errorf("DC mean utilization %.3f outside the paper-like band", res.MeanDC)
+	}
+}
+
+func time1h() sim.Duration { return sim.Hour }
+
+func TestFig2WeakCrossRowCorrelation(t *testing.T) {
+	cfg := Fig2Config{Seed: 2, Rows: 5, RowServers: 80,
+		Warmup: sim.Hour, Window: 2 * sim.Hour, CorrSpan: 12 * sim.Hour}
+	res, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("got %d rows", len(res.Series))
+	}
+	if len(res.Series[0]) != 120 {
+		t.Errorf("window has %d minutes, want 120", len(res.Series[0]))
+	}
+	if len(res.Correlations) != 10 {
+		t.Fatalf("got %d pairs, want 10", len(res.Correlations))
+	}
+	t.Logf("fig2: frac weak correlations = %.2f, correlations = %.3v", res.FracWeak, res.Correlations)
+	if res.FracWeak < 0.6 {
+		t.Errorf("only %.2f of pairwise correlations weak, want most (paper: 0.8)", res.FracWeak)
+	}
+}
+
+func TestFig4FreezeDecay(t *testing.T) {
+	cfg := Fig4Config{Seed: 4, RowServers: 160, FreezeCount: 32,
+		Warmup: 80 * sim.Minute, Observe: 50 * sim.Minute}
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := res.Series[0]
+	final := res.Series[len(res.Series)-1]
+	t.Logf("fig4: start %.3f final %.3f idle %.3f minutesTo90 %d",
+		start, final, res.IdleFrac, res.MinutesTo90)
+	if start < final+0.05 {
+		t.Fatalf("no decay: start %.3f final %.3f", start, final)
+	}
+	// The frozen set ends near idle (within 10 % of rated).
+	if final > res.IdleFrac+0.10 {
+		t.Errorf("final power %.3f too far above idle %.3f", final, res.IdleFrac)
+	}
+	// Decay takes tens of minutes, not instant and not never (paper: ≈35).
+	if res.MinutesTo90 < 10 || res.MinutesTo90 > 50 {
+		t.Errorf("90%% decay at %d min, want 10–50", res.MinutesTo90)
+	}
+}
+
+func TestFig8DiurnalSwing(t *testing.T) {
+	cfg := Fig8Config{Seed: 8, RowServers: 160, Warmup: sim.Hour}
+	res, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1440 {
+		t.Fatalf("series has %d points", len(res.Series))
+	}
+	t.Logf("fig8: hourly swing %.3f", res.HourlySwing)
+	// Paper's Fig 8 spans ≈ 0.75–1.0: a large hourly swing.
+	if res.HourlySwing < 0.08 {
+		t.Errorf("hourly swing %.3f too flat", res.HourlySwing)
+	}
+	for _, v := range res.Series {
+		if v <= 0 || v > 1 {
+			t.Fatalf("normalized power %v outside (0,1]", v)
+		}
+	}
+}
+
+func TestFig9PowerChangeScales(t *testing.T) {
+	cfg := Fig9Config{Seed: 9, RowServers: 160, Warmup: sim.Hour, Measure: 12 * sim.Hour}
+	res, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig9: p99 |Δ1min| = %.4f, max = %.4f", res.P99Abs1Min, res.MaxAbs1Min)
+	// 1-minute changes concentrate near zero (paper: ≤ 2.5 % for 99 %).
+	if res.P99Abs1Min > 0.05 {
+		t.Errorf("p99 1-min change %.4f too large", res.P99Abs1Min)
+	}
+	if res.MaxAbs1Min <= res.P99Abs1Min {
+		t.Error("no spike tail beyond the p99")
+	}
+	// Larger windows widen the distribution: compare the spread of the
+	// 20-minute scale against the 1-minute scale.
+	spread := func(w int) float64 {
+		pts := res.Scales[w]
+		return pts[len(pts)-1].Value - pts[0].Value
+	}
+	if spread(20) <= spread(1) {
+		t.Errorf("20-min spread %.4f not wider than 1-min %.4f", spread(20), spread(1))
+	}
+	for _, w := range []int{1, 5, 20, 60} {
+		if len(res.Scales[w]) == 0 {
+			t.Errorf("missing scale %d", w)
+		}
+	}
+}
+
+func TestFig5KrCalibration(t *testing.T) {
+	cfg := Fig5Config{
+		Seed:            5,
+		RowServers:      160,
+		RO:              0.25,
+		TargetPowerFrac: 0.74,
+		Warmup:          50 * sim.Minute,
+		URatios:         []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Cycles:          2,
+		FreezeMinutes:   3,
+		RecoverMinutes:  10,
+	}
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig5: kr = %.4f (R2 %.3f, %d samples)", res.Kr, res.R2, len(res.Samples))
+	for _, b := range res.Bands {
+		t.Logf("  u=%.2f: f p25/p50/p75 = %+.4f/%+.4f/%+.4f (n=%d)", b.U, b.P25, b.P50, b.P75, b.N)
+	}
+	if res.Kr <= 0 {
+		t.Fatalf("kr %.4f not positive", res.Kr)
+	}
+	// Monotone trend: the median effect at the largest u should exceed the
+	// median at the smallest u.
+	first, last := res.Bands[0], res.Bands[len(res.Bands)-1]
+	if last.P50 <= first.P50 {
+		t.Errorf("f(u) not increasing: median %.4f at u=%.2f vs %.4f at u=%.2f",
+			first.P50, first.U, last.P50, last.U)
+	}
+}

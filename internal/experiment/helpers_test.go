@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestSplitByParity(t *testing.T) {
+	sp := cluster.DefaultSpec()
+	sp.Rows, sp.RacksPerRow, sp.ServersPerRack = 2, 1, 10
+	c, err := cluster.New(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := SplitByParity(c.Row(0))
+	if len(g.Exp) != 5 || len(g.Ctrl) != 5 {
+		t.Fatalf("split sizes %d/%d", len(g.Exp), len(g.Ctrl))
+	}
+	for _, id := range g.Exp {
+		if id%2 != 0 {
+			t.Errorf("odd id %d in experiment group", id)
+		}
+	}
+	for _, id := range g.Ctrl {
+		if id%2 != 1 {
+			t.Errorf("even id %d in control group", id)
+		}
+	}
+	// Disjoint and covering.
+	seen := map[cluster.ServerID]bool{}
+	for _, id := range append(append([]cluster.ServerID{}, g.Exp...), g.Ctrl...) {
+		if seen[id] {
+			t.Fatalf("id %d in both groups", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("split covers %d of 10", len(seen))
+	}
+}
+
+func TestTruncatedMeanMinutes(t *testing.T) {
+	dd := workload.DefaultDurations()
+	m := truncatedMeanMinutes(dd)
+	// Slightly below the analytic untruncated mean of 9, well above the
+	// median.
+	if m < 7.5 || m > 9.0 {
+		t.Errorf("truncated mean %.2f, want in [7.5, 9.0]", m)
+	}
+	// Deterministic: the fixed-seed Monte Carlo always agrees with itself.
+	if m2 := truncatedMeanMinutes(dd); m2 != m {
+		t.Errorf("not deterministic: %v vs %v", m, m2)
+	}
+}
+
+func TestTrackerIndexAt(t *testing.T) {
+	ctrl, err := NewControlled(ControlledConfig{
+		Seed: 2, RowServers: 40, RestRows: 1, TargetPowerFrac: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Rig.StartBase()
+	if err := ctrl.Rig.Run(sim.Time(10 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	tr := ctrl.Tracker
+	if got := tr.IndexAt(0); got != 0 {
+		t.Errorf("IndexAt(0) = %d", got)
+	}
+	if got := tr.IndexAt(sim.Time(5 * sim.Minute)); got != 5 {
+		t.Errorf("IndexAt(5m) = %d", got)
+	}
+	// Between samples: the next sample's index.
+	if got := tr.IndexAt(sim.Time(4*sim.Minute + 30*sim.Second)); got != 5 {
+		t.Errorf("IndexAt(4m30s) = %d", got)
+	}
+	// Beyond the end: length.
+	if got := tr.IndexAt(sim.Time(sim.Hour)); got != tr.Samples() {
+		t.Errorf("IndexAt(1h) = %d, want %d", got, tr.Samples())
+	}
+	// Times are minute-aligned and increasing.
+	times := tr.Times()
+	for i := 1; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) != sim.Minute {
+			t.Fatalf("irregular sample spacing at %d", i)
+		}
+	}
+}
+
+func TestPlacedBetweenBounds(t *testing.T) {
+	ctrl, err := NewControlled(ControlledConfig{
+		Seed: 3, RowServers: 40, RestRows: 1, TargetPowerFrac: 0.75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Rig.StartBase()
+	if err := ctrl.Rig.Run(sim.Time(30 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	tr := ctrl.Tracker
+	total := tr.PlacedBetween(GExp, 0, -1)
+	first := tr.PlacedBetween(GExp, 0, 10)
+	rest := tr.PlacedBetween(GExp, 11, -1)
+	if first+rest != total {
+		t.Errorf("window split %d + %d != %d", first, rest, total)
+	}
+	if got := tr.PlacedBetween(GExp, 0, 1000); got != total {
+		t.Errorf("out-of-range to: %d vs %d", got, total)
+	}
+	// Group accessor round-trips.
+	if tr.Group(GExp).Name != "exp" || tr.Group(GCtrl).Name != "ctrl" {
+		t.Error("group names wrong")
+	}
+	// Normalized series uses the group budget.
+	norm := tr.NormPowerSeries(GExp, 0)
+	raw := tr.PowerSeries(GExp, 0)
+	for i := range norm {
+		if math.Abs(norm[i]-raw[i]/ctrl.ExpBudgetW) > 1e-12 {
+			t.Fatal("normalization inconsistent")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestFormatFig1(t *testing.T) {
+	r := &Fig1Result{
+		Rack:     []stats.CDFPoint{{Value: 0.7, Frac: 0.5}, {Value: 0.9, Frac: 1}},
+		Row:      []stats.CDFPoint{{Value: 0.7, Frac: 0.5}, {Value: 0.85, Frac: 1}},
+		DC:       []stats.CDFPoint{{Value: 0.7, Frac: 0.5}, {Value: 0.8, Frac: 1}},
+		MeanRack: 0.71, MeanRow: 0.70, MeanDC: 0.70,
+		P99Rack: 0.89, P99Row: 0.84, P99DC: 0.79,
+	}
+	var sb strings.Builder
+	FormatFig1(&sb, r)
+	out := sb.String()
+	for _, want := range []string{"Fig 1", "rack", "0.710", "0.890"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFig4(t *testing.T) {
+	r := &Fig4Result{
+		Series:      []float64{0.84, 0.80, 0.76, 0.72, 0.70, 0.69},
+		MinutesTo90: 4,
+		IdleFrac:    0.6,
+	}
+	var sb strings.Builder
+	FormatFig4(&sb, r)
+	out := sb.String()
+	if !strings.Contains(out, "0.84") || !strings.Contains(out, "after 4 min") {
+		t.Errorf("fig4 output wrong:\n%s", out)
+	}
+}
+
+func TestFormatFig5(t *testing.T) {
+	r := &Fig5Result{
+		Samples: []core.ControlSample{{U: 0.1, FU: 0.001}, {U: 0.2, FU: 0.002}},
+		Bands:   []Fig5Band{{U: 0.1, P25: 0.001, P50: 0.002, P75: 0.003, N: 6}},
+		Kr:      0.012, R2: 0.5,
+	}
+	var sb strings.Builder
+	FormatFig5(&sb, r)
+	if !strings.Contains(sb.String(), "kr = 0.0120") {
+		t.Errorf("fig5 output:\n%s", sb.String())
+	}
+}
+
+func TestFormatFig7(t *testing.T) {
+	r := &Fig7Result{
+		CDF:         []stats.CDFPoint{{Value: 1, Frac: 0.2}, {Value: 2, Frac: 0.4}, {Value: 50, Frac: 1}},
+		MeanMinutes: 8.5, FracWithin2: 0.40,
+	}
+	var sb strings.Builder
+	FormatFig7(&sb, r)
+	out := sb.String()
+	if !strings.Contains(out, "mean 8.5 min") || !strings.Contains(out, "0.40") {
+		t.Errorf("fig7 output:\n%s", out)
+	}
+	// CDF lookup helpers behave.
+	if f := cdfFracAt(r.CDF, 2); f != 0.4 {
+		t.Errorf("cdfFracAt(2) = %v", f)
+	}
+	if f := cdfFracAt(r.CDF, 0.5); f != 0 {
+		t.Errorf("cdfFracAt(0.5) = %v", f)
+	}
+	if v := cdfValueAt(r.CDF, 0.4); v != 2 {
+		t.Errorf("cdfValueAt(0.4) = %v", v)
+	}
+	if v := cdfValueAt(nil, 0.5); v != 0 {
+		t.Errorf("cdfValueAt(nil) = %v", v)
+	}
+}
+
+func TestFormatTablesAndSeries(t *testing.T) {
+	t2 := &Table2Result{
+		Light: ScenarioStats{Name: "light", UMean: 0.015, UMax: 0.44, PMeanExp: 0.857,
+			PMaxExp: 0.967, PMeanCtrl: 0.86, PMaxCtrl: 0.997},
+		Heavy: ScenarioStats{Name: "heavy", UMean: 0.247, UMax: 0.5, PMeanExp: 0.948,
+			PMaxExp: 1.002, PMeanCtrl: 0.97, PMaxCtrl: 1.025,
+			ViolationsExp: 1, ViolationsCtl: 321},
+		LightSer: Series{ExpNorm: make([]float64, 120), CtrlNorm: make([]float64, 120), U: make([]float64, 120)},
+		HeavySer: Series{ExpNorm: make([]float64, 120), CtrlNorm: make([]float64, 120), U: make([]float64, 120)},
+	}
+	var sb strings.Builder
+	FormatTable2(&sb, t2)
+	out := sb.String()
+	for _, want := range []string{"Table 2", "24.7%", "321", "violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	FormatFig10(&sb, t2)
+	if !strings.Contains(sb.String(), "[heavy]") {
+		t.Errorf("fig10 output:\n%s", sb.String())
+	}
+
+	t3 := &Table3Result{Rows: []Table3Row{
+		{RO: 0.25, PMean: 0.903, PMax: 1.028, UMean: 0.019, RThru: 0.953, GTPW: 0.197},
+	}}
+	sb.Reset()
+	FormatTable3(&sb, t3)
+	if !strings.Contains(sb.String(), "0.25") || !strings.Contains(sb.String(), "19.7%") {
+		t.Errorf("table3 output:\n%s", sb.String())
+	}
+
+	f11 := &Fig11Result{
+		Rows:                    []Fig11Row{{Op: "GET", P999CappingUS: 1000, P999AmpereUS: 500, Inflation: 2}},
+		CappedServerFracCapping: 0.5, CappedServerFracAmpere: 0.01,
+	}
+	sb.Reset()
+	FormatFig11(&sb, f11)
+	if !strings.Contains(sb.String(), "GET") || !strings.Contains(sb.String(), "2.00×") {
+		t.Errorf("fig11 output:\n%s", sb.String())
+	}
+
+	f12 := &Fig12Result{
+		ExpNorm: make([]float64, 60), CtrlNorm: make([]float64, 60),
+		ThruRatio: []float64{0.9, 1.0}, Threshold: 0.98,
+		RTHighLoad: 0.8, RTOverall: 0.95, GTPW: 0.19, RO: 0.25,
+	}
+	sb.Reset()
+	FormatFig12(&sb, f12)
+	if !strings.Contains(sb.String(), "GTPW 0.190") {
+		t.Errorf("fig12 output:\n%s", sb.String())
+	}
+
+	f2 := &Fig2Result{
+		Series:       [][]float64{make([]float64, 30)},
+		Correlations: []float64{0.1},
+		FracWeak:     1,
+	}
+	sb.Reset()
+	FormatFig2(&sb, f2)
+	if !strings.Contains(sb.String(), "row 0") {
+		t.Errorf("fig2 output:\n%s", sb.String())
+	}
+
+	f8 := &Fig8Result{Series: make([]float64, 180), HourlySwing: 0.12}
+	sb.Reset()
+	FormatFig8(&sb, f8)
+	if !strings.Contains(sb.String(), "hourly swing: 0.120") {
+		t.Errorf("fig8 output:\n%s", sb.String())
+	}
+
+	f9 := &Fig9Result{
+		Scales: map[int][]stats.CDFPoint{
+			1:  {{Value: -0.01, Frac: 0.01}, {Value: 0.01, Frac: 1}},
+			5:  {{Value: -0.02, Frac: 0.01}, {Value: 0.02, Frac: 1}},
+			20: {{Value: -0.03, Frac: 0.01}, {Value: 0.03, Frac: 1}},
+			60: {{Value: -0.04, Frac: 0.01}, {Value: 0.04, Frac: 1}},
+		},
+		P99Abs1Min: 0.02, MaxAbs1Min: 0.05,
+	}
+	sb.Reset()
+	FormatFig9(&sb, f9)
+	if !strings.Contains(sb.String(), "1-min") {
+		t.Errorf("fig9 output:\n%s", sb.String())
+	}
+}

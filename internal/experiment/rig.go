@@ -1,0 +1,292 @@
+// Package experiment implements the paper's evaluation methodology: the
+// controlled-experiment design of §4.1.2 (parity-split virtual groups,
+// scaled-budget emulation of over-provisioning) and one runner per table and
+// figure in §4, each reproducing the corresponding series or rows.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+	"repro/internal/workload"
+)
+
+// Rig is a fully assembled simulated deployment: cluster, scheduler,
+// workload generator, TSDB and power monitor, all driven by one engine.
+type Rig struct {
+	Eng     *sim.Engine
+	Cluster *cluster.Cluster
+	Sched   *scheduler.Scheduler
+	DB      *tsdb.DB
+	Mon     *monitor.Monitor
+	Gen     *workload.Generator
+	Seed    uint64
+}
+
+// RigConfig assembles a Rig.
+type RigConfig struct {
+	Seed     uint64
+	Cluster  cluster.Spec
+	Products []workload.Product
+	// ProductWeights[p] is the row-affinity vector for product p; nil
+	// entries mean uniform.
+	ProductWeights [][]float64
+	Durations      workload.DurationDist
+	Policy         scheduler.Policy
+	// Retention bounds TSDB series length (0 = unlimited).
+	Retention int
+	// StoreServerSeries records per-server history in the TSDB.
+	StoreServerSeries bool
+	// MonitorDropRate injects monitor sweep failures (see monitor.Config).
+	MonitorDropRate float64
+}
+
+// NewRig builds and wires all components. Nothing is started; call
+// StartBase (and any controller/capper) before running the engine, starting
+// the monitor first so each minute's samples deterministically precede their
+// consumers.
+func NewRig(cfg RigConfig) (*Rig, error) {
+	eng := sim.NewEngine()
+	c, err := cluster.New(cfg.Cluster, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sched := scheduler.New(eng, c, cfg.Seed, cfg.Policy)
+	if cfg.ProductWeights != nil {
+		sched.SetProductWeights(cfg.ProductWeights)
+	}
+	db := tsdb.New(cfg.Retention)
+	mcfg := monitor.DefaultConfig()
+	mcfg.StoreServerSeries = cfg.StoreServerSeries
+	mcfg.SweepDropRate = cfg.MonitorDropRate
+	mcfg.DropSeed = cfg.Seed
+	mon, err := monitor.New(eng, c, db, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	dd := cfg.Durations
+	if dd == (workload.DurationDist{}) {
+		dd = workload.DefaultDurations()
+	}
+	gen, err := workload.NewGenerator(eng, cfg.Seed, cfg.Products, dd, sched.Submit)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{Eng: eng, Cluster: c, Sched: sched, DB: db, Mon: mon, Gen: gen, Seed: cfg.Seed}, nil
+}
+
+// StartBase starts the monitor and then the workload generator.
+func (r *Rig) StartBase() {
+	r.Mon.Start()
+	r.Gen.Start()
+}
+
+// Run advances the simulation to the given absolute time.
+func (r *Rig) Run(until sim.Time) error { return r.Eng.RunUntil(until) }
+
+// Groups is the §4.1.2 controlled-experiment split of one server population
+// into two statistically identical virtual groups.
+type Groups struct {
+	Exp  []cluster.ServerID
+	Ctrl []cluster.ServerID
+}
+
+// SplitByParity assigns servers to the experiment group (even IDs) or the
+// control group (odd IDs) — "based on the parity of the server IDs and thus
+// a server is assigned to a group in a uniformly random way".
+func SplitByParity(servers []*cluster.Server) Groups {
+	var g Groups
+	for _, sv := range servers {
+		if sv.ID%2 == 0 {
+			g.Exp = append(g.Exp, sv.ID)
+		} else {
+			g.Ctrl = append(g.Ctrl, sv.ID)
+		}
+	}
+	return g
+}
+
+// Group is one tracked server set with an optional enforced budget.
+type Group struct {
+	Name string
+	IDs  []cluster.ServerID
+	// BudgetW, when positive, defines violations: samples with group power
+	// strictly above it.
+	BudgetW float64
+}
+
+// Tracker records per-monitor-sample group power, throughput and arbitrary
+// probe values, giving experiments minute-resolution series to analyze.
+type Tracker struct {
+	rig        *Rig
+	groups     []Group
+	idToGroup  map[cluster.ServerID]int
+	times      []sim.Time
+	power      [][]float64 // [group][sample]
+	violations []int
+	placedCum  []int64   // cumulative placements per group
+	placed     [][]int64 // [group][sample] cumulative at sample time
+	probes     []probe
+	probeVals  [][]float64
+}
+
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// NewTracker attaches a tracker to the rig's monitor and scheduler. Create
+// it before starting the rig so the first sample is captured. Placement
+// attribution silently ignores servers outside all groups.
+func NewTracker(rig *Rig, groups []Group) (*Tracker, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("experiment: tracker needs at least one group")
+	}
+	t := &Tracker{
+		rig:        rig,
+		groups:     groups,
+		idToGroup:  make(map[cluster.ServerID]int),
+		power:      make([][]float64, len(groups)),
+		violations: make([]int, len(groups)),
+		placedCum:  make([]int64, len(groups)),
+		placed:     make([][]int64, len(groups)),
+	}
+	for gi, g := range groups {
+		if len(g.IDs) == 0 {
+			return nil, fmt.Errorf("experiment: group %q is empty", g.Name)
+		}
+		for _, id := range g.IDs {
+			t.idToGroup[id] = gi
+		}
+	}
+	rig.Sched.OnPlace(func(j *workload.Job, sv *cluster.Server) {
+		if gi, ok := t.idToGroup[sv.ID]; ok {
+			t.placedCum[gi]++
+		}
+	})
+	rig.Mon.OnSample(t.sample)
+	return t, nil
+}
+
+// AddProbe records fn() at every monitor sample under the given name (e.g.
+// the controller's current freezing ratio). Add probes before starting the
+// rig.
+func (t *Tracker) AddProbe(name string, fn func() float64) {
+	t.probes = append(t.probes, probe{name: name, fn: fn})
+	t.probeVals = append(t.probeVals, nil)
+}
+
+func (t *Tracker) sample(now sim.Time) {
+	t.times = append(t.times, now)
+	for gi, g := range t.groups {
+		p, ok := t.rig.Mon.GroupPower(g.IDs)
+		if !ok {
+			p = 0
+		}
+		t.power[gi] = append(t.power[gi], p)
+		if g.BudgetW > 0 && p > g.BudgetW {
+			t.violations[gi]++
+		}
+		t.placed[gi] = append(t.placed[gi], t.placedCum[gi])
+	}
+	for pi, pr := range t.probes {
+		t.probeVals[pi] = append(t.probeVals[pi], pr.fn())
+	}
+}
+
+// Samples returns the number of recorded monitor samples.
+func (t *Tracker) Samples() int { return len(t.times) }
+
+// Times returns the sample timestamps.
+func (t *Tracker) Times() []sim.Time { return t.times }
+
+// IndexAt returns the index of the first sample at or after tm.
+func (t *Tracker) IndexAt(tm sim.Time) int {
+	for i, v := range t.times {
+		if v >= tm {
+			return i
+		}
+	}
+	return len(t.times)
+}
+
+// PowerSeries returns group gi's power samples (watts) from sample index
+// from (inclusive) onward.
+func (t *Tracker) PowerSeries(gi, from int) []float64 {
+	return t.power[gi][from:]
+}
+
+// NormPowerSeries returns group gi's power normalized to its budget.
+func (t *Tracker) NormPowerSeries(gi, from int) []float64 {
+	b := t.groups[gi].BudgetW
+	src := t.power[gi][from:]
+	out := make([]float64, len(src))
+	for i, v := range src {
+		out[i] = v / b
+	}
+	return out
+}
+
+// Violations counts group gi's over-budget samples from sample index from.
+func (t *Tracker) Violations(gi, from int) int {
+	b := t.groups[gi].BudgetW
+	if b <= 0 {
+		return 0
+	}
+	return countOver(t.power[gi][from:], b)
+}
+
+func countOver(xs []float64, budget float64) int {
+	n := 0
+	for _, v := range xs {
+		if v > budget {
+			n++
+		}
+	}
+	return n
+}
+
+// PlacedBetween returns the number of jobs placed on group gi's servers
+// between sample indices from and to (to = −1 means the latest sample).
+func (t *Tracker) PlacedBetween(gi, from, to int) int64 {
+	series := t.placed[gi]
+	if len(series) == 0 {
+		return 0
+	}
+	if to < 0 || to >= len(series) {
+		to = len(series) - 1
+	}
+	var start int64
+	if from > 0 {
+		start = series[from-1]
+	}
+	return series[to] - start
+}
+
+// PlacedSeries returns per-sample placement increments for group gi from
+// sample index from onward.
+func (t *Tracker) PlacedSeries(gi, from int) []int64 {
+	series := t.placed[gi]
+	out := make([]int64, 0, len(series)-from)
+	prev := int64(0)
+	if from > 0 {
+		prev = series[from-1]
+	}
+	for _, v := range series[from:] {
+		out = append(out, v-prev)
+		prev = v
+	}
+	return out
+}
+
+// ProbeSeries returns probe pi's samples from index from onward.
+func (t *Tracker) ProbeSeries(pi, from int) []float64 {
+	return t.probeVals[pi][from:]
+}
+
+// Group returns the tracked group gi.
+func (t *Tracker) Group(gi int) Group { return t.groups[gi] }

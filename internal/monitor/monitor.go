@@ -1,0 +1,207 @@
+// Package monitor implements the paper's power monitor (§3.3): it samples
+// every server's power once per minute (the paper's IPMI path), aggregates
+// to rack, row and data-center level, and stores the history in the
+// time-series database. Like the paper's monitor it is stateless — all
+// history lives in the TSDB, and the latest per-server snapshot can be
+// rebuilt by re-sampling.
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+// Series naming scheme used in the TSDB.
+const (
+	SeriesDC = "dc"
+)
+
+// SeriesRow returns the TSDB series name for row r.
+func SeriesRow(r int) string { return fmt.Sprintf("row/%d", r) }
+
+// SeriesRack returns the TSDB series name for rack k on row r.
+func SeriesRack(r, k int) string { return fmt.Sprintf("rack/%d/%d", r, k) }
+
+// SeriesServer returns the TSDB series name for a server.
+func SeriesServer(id cluster.ServerID) string { return fmt.Sprintf("server/%d", id) }
+
+// Config controls sampling.
+type Config struct {
+	// Interval between sampling sweeps. The paper samples every minute, "a
+	// good tradeoff between measurement accuracy and monitoring overhead".
+	Interval sim.Duration
+	// StoreServerSeries also records one TSDB series per server. Off by
+	// default: at data-center scale the per-server history dominates memory
+	// and only the latest snapshot is needed by the controller.
+	StoreServerSeries bool
+	// SweepDropRate injects monitoring failures: each sweep is skipped
+	// entirely with this probability (an IPMI/collector outage for that
+	// minute). Consumers observe it as a stale snapshot — the controller's
+	// SkippedNoData path only triggers before the first successful sweep,
+	// so the realistic failure mode is staleness, which RHC absorbs.
+	SweepDropRate float64
+	// DropSeed seeds the failure-injection stream.
+	DropSeed uint64
+}
+
+// DefaultConfig returns the paper's 1-minute sampling.
+func DefaultConfig() Config { return Config{Interval: sim.Minute} }
+
+// Monitor samples a cluster into a TSDB and keeps a latest-value snapshot.
+type Monitor struct {
+	eng *sim.Engine
+	c   *cluster.Cluster
+	db  *tsdb.DB
+	cfg Config
+
+	lastServer []float64 // latest sample per server
+	lastTime   sim.Time
+	haveSample bool
+	sweeps     int64
+	dropped    int64
+	dropRNG    *rand.Rand
+
+	handle   *sim.Handle
+	onSample []func(now sim.Time)
+}
+
+// New builds a monitor. db may be nil, in which case only the in-memory
+// snapshot is maintained (used by lightweight tests).
+func New(eng *sim.Engine, c *cluster.Cluster, db *tsdb.DB, cfg Config) (*Monitor, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive interval %v", cfg.Interval)
+	}
+	if cfg.SweepDropRate < 0 || cfg.SweepDropRate >= 1 {
+		return nil, fmt.Errorf("monitor: sweep drop rate %v outside [0, 1)", cfg.SweepDropRate)
+	}
+	m := &Monitor{
+		eng:        eng,
+		c:          c,
+		db:         db,
+		cfg:        cfg,
+		lastServer: make([]float64, len(c.Servers)),
+	}
+	if cfg.SweepDropRate > 0 {
+		m.dropRNG = sim.SubRNG(cfg.DropSeed, "monitor-drops")
+	}
+	return m, nil
+}
+
+// Start begins periodic sampling, with the first sweep at the current time.
+// Start the monitor before any component that consumes its samples in the
+// same interval, so sweeps always precede consumers deterministically.
+func (m *Monitor) Start() {
+	if m.handle != nil {
+		return
+	}
+	m.handle = m.eng.Every(m.eng.Now(), m.cfg.Interval, "power-monitor", m.Sweep)
+}
+
+// Stop halts sampling.
+func (m *Monitor) Stop() {
+	if m.handle != nil {
+		m.handle.Cancel()
+		m.handle = nil
+	}
+}
+
+// OnSample registers a callback invoked after every sweep. Experiment
+// harnesses use it to record group-level metrics at monitor resolution.
+func (m *Monitor) OnSample(fn func(now sim.Time)) { m.onSample = append(m.onSample, fn) }
+
+// Sweep performs one sampling pass immediately. It is normally driven by
+// Start's periodic event but is exported so tests and restarted monitors can
+// force a sample.
+func (m *Monitor) Sweep(now sim.Time) {
+	if m.dropRNG != nil && m.dropRNG.Float64() < m.cfg.SweepDropRate {
+		m.dropped++
+		return
+	}
+	spec := m.c.Spec
+	dcTotal := 0.0
+	for r := 0; r < m.c.Rows(); r++ {
+		rowTotal := 0.0
+		rackTotals := make([]float64, spec.RacksPerRow)
+		for _, sv := range m.c.Row(r) {
+			p := sv.SamplePower()
+			m.lastServer[sv.ID] = p
+			rowTotal += p
+			rackTotals[sv.Rack] += p
+			if m.db != nil && m.cfg.StoreServerSeries {
+				m.mustAppend(SeriesServer(sv.ID), now, p)
+			}
+		}
+		dcTotal += rowTotal
+		if m.db != nil {
+			m.mustAppend(SeriesRow(r), now, rowTotal)
+			for k, v := range rackTotals {
+				m.mustAppend(SeriesRack(r, k), now, v)
+			}
+		}
+	}
+	if m.db != nil {
+		m.mustAppend(SeriesDC, now, dcTotal)
+	}
+	m.lastTime = now
+	m.haveSample = true
+	m.sweeps++
+	for _, fn := range m.onSample {
+		fn(now)
+	}
+}
+
+func (m *Monitor) mustAppend(name string, t sim.Time, v float64) {
+	if err := m.db.Append(name, t, v); err != nil {
+		// Monitor time only moves forward; an append failure is a bug.
+		panic(err)
+	}
+}
+
+// Sweeps returns the number of completed sampling passes.
+func (m *Monitor) Sweeps() int64 { return m.sweeps }
+
+// Dropped returns the number of sweeps lost to injected failures.
+func (m *Monitor) Dropped() int64 { return m.dropped }
+
+// ServerPower returns the latest sampled power of one server.
+func (m *Monitor) ServerPower(id cluster.ServerID) (float64, bool) {
+	if !m.haveSample || int(id) < 0 || int(id) >= len(m.lastServer) {
+		return 0, false
+	}
+	return m.lastServer[id], true
+}
+
+// RowPower returns the latest sampled total power of row r.
+func (m *Monitor) RowPower(r int) (float64, bool) {
+	if !m.haveSample || r < 0 || r >= m.c.Rows() {
+		return 0, false
+	}
+	total := 0.0
+	for _, sv := range m.c.Row(r) {
+		total += m.lastServer[sv.ID]
+	}
+	return total, true
+}
+
+// GroupPower returns the latest sampled total power of an arbitrary server
+// set — the controlled experiments' virtual groups (§4.1.2).
+func (m *Monitor) GroupPower(ids []cluster.ServerID) (float64, bool) {
+	if !m.haveSample {
+		return 0, false
+	}
+	total := 0.0
+	for _, id := range ids {
+		if int(id) < 0 || int(id) >= len(m.lastServer) {
+			return 0, false
+		}
+		total += m.lastServer[id]
+	}
+	return total, true
+}
+
+// LastSampleTime returns the time of the latest sweep.
+func (m *Monitor) LastSampleTime() (sim.Time, bool) { return m.lastTime, m.haveSample }

@@ -1,0 +1,223 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+func newCluster(t *testing.T, rows, racks, perRack int) *cluster.Cluster {
+	t.Helper()
+	sp := cluster.DefaultSpec()
+	sp.Rows, sp.RacksPerRow, sp.ServersPerRack = rows, racks, perRack
+	sp.NoiseSigmaW = 0
+	c, err := cluster.New(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 1, 1, 1)
+	if _, err := New(eng, c, nil, Config{Interval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestSweepAggregation(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 2, 2, 3)
+	db := tsdb.New(0)
+	m, err := New(eng, c, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load one server on row 0 fully.
+	c.Server(0).Allocate(c.Spec.Containers, float64(c.Spec.Containers))
+	m.Sweep(0)
+
+	idle := c.Spec.IdlePowerW
+	rated := c.Spec.RatedPowerW
+	wantRow0 := rated + 5*idle
+	if got, ok := m.RowPower(0); !ok || math.Abs(got-wantRow0) > 1e-9 {
+		t.Errorf("row 0 power %v, want %v", got, wantRow0)
+	}
+	if got, ok := m.RowPower(1); !ok || math.Abs(got-6*idle) > 1e-9 {
+		t.Errorf("row 1 power %v, want %v", got, 6*idle)
+	}
+	if p, ok := m.ServerPower(0); !ok || math.Abs(p-rated) > 1e-9 {
+		t.Errorf("server 0 power %v", p)
+	}
+	if _, ok := m.ServerPower(-1); ok {
+		t.Error("negative server id accepted")
+	}
+	if _, ok := m.RowPower(5); ok {
+		t.Error("out-of-range row accepted")
+	}
+
+	// TSDB series.
+	if p, ok := db.Latest(SeriesRow(0)); !ok || math.Abs(p.V-wantRow0) > 1e-9 {
+		t.Errorf("tsdb row 0 = %+v", p)
+	}
+	if p, ok := db.Latest(SeriesRack(0, 0)); !ok || math.Abs(p.V-(rated+2*idle)) > 1e-9 {
+		t.Errorf("tsdb rack 0/0 = %+v", p)
+	}
+	if p, ok := db.Latest(SeriesDC); !ok || math.Abs(p.V-(rated+11*idle)) > 1e-9 {
+		t.Errorf("tsdb dc = %+v", p)
+	}
+	// Server series off by default.
+	if db.Len(SeriesServer(0)) != 0 {
+		t.Error("server series stored without StoreServerSeries")
+	}
+}
+
+func TestGroupPower(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 1, 1, 4)
+	m, err := New(eng, c, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.GroupPower([]cluster.ServerID{0}); ok {
+		t.Error("group power available before any sweep")
+	}
+	c.Server(1).Allocate(c.Spec.Containers, float64(c.Spec.Containers))
+	m.Sweep(0)
+	got, ok := m.GroupPower([]cluster.ServerID{0, 1})
+	want := c.Spec.IdlePowerW + c.Spec.RatedPowerW
+	if !ok || math.Abs(got-want) > 1e-9 {
+		t.Errorf("group power %v, want %v", got, want)
+	}
+	if _, ok := m.GroupPower([]cluster.ServerID{99}); ok {
+		t.Error("unknown member accepted")
+	}
+}
+
+func TestPeriodicSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 1, 1, 2)
+	db := tsdb.New(0)
+	m, err := New(eng, c, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampleTimes []sim.Time
+	m.OnSample(func(now sim.Time) { sampleTimes = append(sampleTimes, now) })
+	m.Start()
+	m.Start() // idempotent
+	if err := eng.RunUntil(sim.Time(5 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sweeps() != 6 { // t = 0..5 inclusive
+		t.Errorf("sweeps = %d, want 6", m.Sweeps())
+	}
+	if len(sampleTimes) != 6 || sampleTimes[1] != sim.Time(sim.Minute) {
+		t.Errorf("sample times = %v", sampleTimes)
+	}
+	if db.Len(SeriesRow(0)) != 6 {
+		t.Errorf("row series has %d points", db.Len(SeriesRow(0)))
+	}
+	m.Stop()
+	if err := eng.RunUntil(sim.Time(10 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sweeps() != 6 {
+		t.Error("monitor kept sweeping after Stop")
+	}
+	if ts, ok := m.LastSampleTime(); !ok || ts != sim.Time(5*sim.Minute) {
+		t.Errorf("LastSampleTime = %v, %v", ts, ok)
+	}
+}
+
+func TestStoreServerSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 1, 1, 2)
+	db := tsdb.New(0)
+	cfg := DefaultConfig()
+	cfg.StoreServerSeries = true
+	m, err := New(eng, c, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Sweep(0)
+	if db.Len(SeriesServer(0)) != 1 || db.Len(SeriesServer(1)) != 1 {
+		t.Error("server series missing")
+	}
+}
+
+// A restarted monitor (fresh instance over the same TSDB) recovers: the
+// paper's monitor is stateless by design.
+func TestMonitorStatelessRestart(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 1, 1, 2)
+	db := tsdb.New(0)
+	m1, err := New(eng, c, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Start()
+	if err := eng.RunUntil(sim.Time(3 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	m1.Stop()
+
+	// "Crash": a new monitor instance resumes against the same DB.
+	m2, err := New(eng, c, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Start()
+	if err := eng.RunUntil(sim.Time(6 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Series continuity: samples at minutes 0..3 from m1, 3..6 from m2
+	// (minute 3 sampled twice, which the TSDB permits).
+	if got := db.Len(SeriesRow(0)); got != 8 {
+		t.Errorf("row series has %d points after restart, want 8", got)
+	}
+	if p, ok := m2.RowPower(0); !ok || p <= 0 {
+		t.Errorf("restarted monitor snapshot: %v %v", p, ok)
+	}
+}
+
+func TestSweepDropInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, 1, 1, 2)
+	cfg := DefaultConfig()
+	cfg.SweepDropRate = 0.3
+	cfg.DropSeed = 5
+	m, err := New(eng, c, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	if err := eng.RunUntil(sim.Time(10 * sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	total := m.Sweeps() + m.Dropped()
+	if total != 601 {
+		t.Fatalf("sweeps+dropped = %d, want 601", total)
+	}
+	frac := float64(m.Dropped()) / float64(total)
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("dropped fraction %.3f, want ≈0.30", frac)
+	}
+	// Snapshot survives drops: the last successful sweep stays readable.
+	if _, ok := m.RowPower(0); !ok {
+		t.Error("no snapshot despite many successful sweeps")
+	}
+	// Rate 1 is invalid (every sweep dropped forever).
+	cfg.SweepDropRate = 1
+	if _, err := New(eng, c, nil, cfg); err == nil {
+		t.Error("drop rate 1 accepted")
+	}
+	cfg.SweepDropRate = -0.1
+	if _, err := New(eng, c, nil, cfg); err == nil {
+		t.Error("negative drop rate accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package scheduler
+
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// ConcentrateRows implements the paper's future-work direction (§6): "we are
+// exploring ways to schedule the jobs to different rows so that there can be
+// a larger variance in power utilization across different rows, leading to
+// more unused power to cultivate". It packs new jobs onto the most-utilized
+// row with capacity, keeping other rows cold — the power controller's simple
+// freeze/unfreeze interface is unchanged, exactly as the paper notes.
+type ConcentrateRows struct{}
+
+// Name implements RowChooser.
+func (ConcentrateRows) Name() string { return "concentrate-rows" }
+
+// ChooseRow implements RowChooser: the eligible row with the highest
+// container utilization (ties by lowest index for determinism).
+func (ConcentrateRows) ChooseRow(_ *rand.Rand, _ *workload.Job, eligible []int,
+	_ func(int) int, util func(int) float64) int {
+	best := eligible[0]
+	for _, r := range eligible[1:] {
+		if util(r) > util(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// BalanceRows is the opposite shaping policy: always pick the least-utilized
+// eligible row, minimizing cross-row variance (the configuration that leaves
+// the least consolidated unused power). Used as the contrast case in the
+// spreading experiment.
+type BalanceRows struct{}
+
+// Name implements RowChooser.
+func (BalanceRows) Name() string { return "balance-rows" }
+
+// ChooseRow implements RowChooser.
+func (BalanceRows) ChooseRow(_ *rand.Rand, _ *workload.Job, eligible []int,
+	_ func(int) int, util func(int) float64) int {
+	best := eligible[0]
+	for _, r := range eligible[1:] {
+		if util(r) < util(best) {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,638 @@
+// Package scheduler implements the two-level, Omega-like job scheduler the
+// paper's data center runs (§2.1). The lower level tracks server resources as
+// containers, maintains per-row candidate lists, and exposes exactly the two
+// operations Ampere is allowed to use — Freeze and Unfreeze. The upper level
+// is a pluggable placement policy. Placement probability is proportional to
+// available capacity (weighted by product affinity), which is the statistical
+// property Ampere's indirect control relies on (§3.4).
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FreezeAPI is the complete interface Ampere may use to influence
+// scheduling: the paper's freeze/unfreeze pair and nothing else.
+type FreezeAPI interface {
+	// Freeze advises the scheduler to stop assigning new jobs to the
+	// server. Running jobs are unaffected.
+	Freeze(id cluster.ServerID) error
+	// Unfreeze makes a frozen server schedulable again.
+	Unfreeze(id cluster.ServerID) error
+}
+
+// Policy is the upper-level, application-specific placement logic. Pick
+// selects one server from a non-empty candidate slice of schedulable servers
+// that fit the job. Implementations must not retain the slice.
+type Policy interface {
+	Name() string
+	Pick(r *rand.Rand, job *workload.Job, candidates []*cluster.Server) *cluster.Server
+}
+
+// RowChooser optionally overrides the row-selection step of placement. The
+// default samples rows proportional to affinity-weighted available capacity
+// (the statistical property Ampere relies on); alternative choosers
+// implement the paper's future-work idea of deliberately shaping cross-row
+// power variance. eligible is non-empty and lists the rows the job may go
+// to; fit(r) is the number of schedulable fitting servers on row r and
+// util(r) the row's container utilization in [0, 1]. Return value must be
+// one of eligible.
+type RowChooser interface {
+	Name() string
+	ChooseRow(r *rand.Rand, job *workload.Job, eligible []int,
+		fit func(row int) int, util func(row int) float64) int
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Submitted int64
+	Placed    int64
+	Completed int64
+	// Queued is the number of jobs that had to wait at least once.
+	Queued int64
+	// Overflowed counts placements that landed outside the job's preferred
+	// rows because those rows had no capacity.
+	Overflowed int64
+	// Killed counts jobs aborted by server failures (breaker trips). They
+	// are gone, not re-queued: the batch framework above the scheduler owns
+	// retries, which are new submissions.
+	Killed int64
+	// Rejected counts jobs that can never fit (more containers than any
+	// server has). Queueing them would block the FIFO queue forever.
+	Rejected int64
+}
+
+// Scheduler owns job placement and execution for one cluster.
+type Scheduler struct {
+	eng    *sim.Engine
+	c      *cluster.Cluster
+	rng    *rand.Rand
+	policy Policy
+
+	// avail[r] lists servers on row r that are unfrozen and have at least
+	// one free container; pos maps server ID to its index there.
+	avail [][]*cluster.Server
+	pos   []int // −1 when not in avail
+
+	queue     []*workload.Job
+	queueHead int
+	// enqueuedAt[jobID] is the submit time of a currently queued job, for
+	// wait-time accounting.
+	enqueuedAt map[int64]sim.Time
+	// waitHist accumulates queue wait times (ms) of jobs that had to wait.
+	waitHist *stats.LogHistogram
+	// stretchHist accumulates completed jobs' slowdown factors
+	// (wall-clock execution time / full-speed work). 1.0 = never throttled;
+	// DVFS capping pushes it up. Resettable for windowed measurements.
+	stretchHist *stats.LogHistogram
+
+	// productRows[p] is the row-affinity weight vector for product index p;
+	// nil entries (or a missing index) mean uniform affinity.
+	productRows [][]float64
+
+	// rowChooser, when non-nil, overrides proportional row selection.
+	rowChooser RowChooser
+	// busyRow[r] / capRow[r] track per-row container occupancy for
+	// RowChooser utilization queries.
+	busyRow []int
+	capRow  []int
+
+	running map[cluster.ServerID][]*runningJob
+
+	stats Stats
+
+	onPlace    func(j *workload.Job, s *cluster.Server)
+	onComplete func(j *workload.Job, s *cluster.Server)
+}
+
+type runningJob struct {
+	job    *workload.Job
+	server *cluster.Server
+	// remainingMS is full-speed work left, in (fractional) milliseconds.
+	remainingMS float64
+	startedAt   sim.Time
+	lastUpdate  sim.Time
+	handle      *sim.Handle
+	idx         int // index in running[server]
+}
+
+// New builds a scheduler over c using the given placement policy (RandomFit
+// when nil, matching the paper's statistically uniform placement).
+func New(eng *sim.Engine, c *cluster.Cluster, seed uint64, policy Policy) *Scheduler {
+	if policy == nil {
+		policy = RandomFit{}
+	}
+	waitHist, err := stats.NewLogHistogram(1, float64(30*24*sim.Hour), 1200) // 1 ms … 30 days
+	if err != nil {
+		panic(err) // constants are valid; unreachable
+	}
+	s := &Scheduler{
+		eng:        eng,
+		c:          c,
+		rng:        sim.SubRNG(seed, "scheduler"),
+		policy:     policy,
+		avail:      make([][]*cluster.Server, c.Rows()),
+		pos:        make([]int, len(c.Servers)),
+		running:    make(map[cluster.ServerID][]*runningJob),
+		enqueuedAt: make(map[int64]sim.Time),
+		waitHist:   waitHist,
+	}
+	s.ResetStretchStats()
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	s.busyRow = make([]int, c.Rows())
+	s.capRow = make([]int, c.Rows())
+	for _, sv := range c.Servers {
+		s.addAvail(sv)
+		s.capRow[sv.Row] += c.Spec.Containers
+		sv.OnSpeedChange(s.speedChanged)
+	}
+	return s
+}
+
+// SetRowChooser overrides the row-selection step (nil restores the default
+// proportional sampling).
+func (s *Scheduler) SetRowChooser(rc RowChooser) { s.rowChooser = rc }
+
+// RowUtilization returns row r's container occupancy in [0, 1].
+func (s *Scheduler) RowUtilization(r int) float64 {
+	if s.capRow[r] == 0 {
+		return 0
+	}
+	return float64(s.busyRow[r]) / float64(s.capRow[r])
+}
+
+// Stats returns a copy of the activity counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// QueueLen returns the number of jobs waiting for capacity.
+func (s *Scheduler) QueueLen() int { return len(s.queue) - s.queueHead }
+
+// QueueWaitQuantile returns the q-th quantile (q in [0,1]) of the queue
+// wait times of jobs that had to wait, or NaN when nothing waited. Jobs
+// placed immediately contribute no sample — the metric quantifies the
+// "letting them wait in the scheduler queue" cost of driving jobs away from
+// hot rows.
+func (s *Scheduler) QueueWaitQuantile(q float64) sim.Duration {
+	v := s.waitHist.Quantile(q)
+	if v != v { // NaN
+		return 0
+	}
+	return sim.Duration(v)
+}
+
+// QueueWaits returns the number of recorded completed waits.
+func (s *Scheduler) QueueWaits() int64 { return s.waitHist.Count() }
+
+// StretchQuantile returns the q-th quantile (q in [0,1]) of completed jobs'
+// slowdown factor (wall time / full-speed work); 1.0 means never throttled.
+// Returns 0 before any completion.
+func (s *Scheduler) StretchQuantile(q float64) float64 {
+	v := s.stretchHist.Quantile(q)
+	if v != v { // NaN
+		return 0
+	}
+	return v
+}
+
+// StretchCount returns the number of recorded slowdown samples.
+func (s *Scheduler) StretchCount() int64 { return s.stretchHist.Count() }
+
+// ResetStretchStats clears the slowdown histogram so a measurement window
+// can exclude warmup completions.
+func (s *Scheduler) ResetStretchStats() {
+	h, err := stats.NewLogHistogram(0.5, 1000, 1200)
+	if err != nil {
+		panic(err) // constants are valid; unreachable
+	}
+	s.stretchHist = h
+}
+
+// OnPlace registers a callback invoked after each successful placement.
+func (s *Scheduler) OnPlace(fn func(j *workload.Job, sv *cluster.Server)) { s.onPlace = fn }
+
+// OnComplete registers a callback invoked after each job completion.
+func (s *Scheduler) OnComplete(fn func(j *workload.Job, sv *cluster.Server)) { s.onComplete = fn }
+
+// availability index maintenance
+
+func (s *Scheduler) schedulable(sv *cluster.Server) bool {
+	return !sv.Frozen() && !sv.Failed() && sv.FreeContainers() >= 1
+}
+
+func (s *Scheduler) addAvail(sv *cluster.Server) {
+	if s.pos[sv.ID] != -1 || !s.schedulable(sv) {
+		return
+	}
+	row := s.avail[sv.Row]
+	s.pos[sv.ID] = len(row)
+	s.avail[sv.Row] = append(row, sv)
+}
+
+func (s *Scheduler) removeAvail(sv *cluster.Server) {
+	i := s.pos[sv.ID]
+	if i == -1 {
+		return
+	}
+	row := s.avail[sv.Row]
+	last := len(row) - 1
+	moved := row[last]
+	row[i] = moved
+	s.pos[moved.ID] = i
+	s.avail[sv.Row] = row[:last]
+	s.pos[sv.ID] = -1
+}
+
+func (s *Scheduler) refreshAvail(sv *cluster.Server) {
+	if s.schedulable(sv) {
+		s.addAvail(sv)
+	} else {
+		s.removeAvail(sv)
+	}
+}
+
+// AvailableInRow returns the number of schedulable servers on row r.
+func (s *Scheduler) AvailableInRow(r int) int { return len(s.avail[r]) }
+
+// Freeze implements FreezeAPI. Freezing an already-frozen server is an
+// error so the controller's bookkeeping bugs surface immediately.
+func (s *Scheduler) Freeze(id cluster.ServerID) error {
+	if int(id) < 0 || int(id) >= len(s.c.Servers) {
+		return fmt.Errorf("scheduler: freeze of unknown server %d", id)
+	}
+	sv := s.c.Server(id)
+	if sv.Frozen() {
+		return fmt.Errorf("scheduler: server %d already frozen", id)
+	}
+	sv.SetFrozen(true)
+	s.refreshAvail(sv)
+	return nil
+}
+
+// Unfreeze implements FreezeAPI.
+func (s *Scheduler) Unfreeze(id cluster.ServerID) error {
+	if int(id) < 0 || int(id) >= len(s.c.Servers) {
+		return fmt.Errorf("scheduler: unfreeze of unknown server %d", id)
+	}
+	sv := s.c.Server(id)
+	if !sv.Frozen() {
+		return fmt.Errorf("scheduler: server %d not frozen", id)
+	}
+	sv.SetFrozen(false)
+	s.refreshAvail(sv)
+	s.drainQueue()
+	return nil
+}
+
+var _ FreezeAPI = (*Scheduler)(nil)
+
+// Submit accepts a job for placement, queueing it when no capacity fits.
+// It is the workload generator's sink. Jobs larger than any server's
+// container capacity are rejected outright: waiting could never help and
+// would block every job behind them in the FIFO queue.
+func (s *Scheduler) Submit(j *workload.Job) {
+	s.stats.Submitted++
+	if j.Containers < 1 || j.Containers > s.c.Spec.Containers {
+		s.stats.Rejected++
+		return
+	}
+	if s.queueHead < len(s.queue) {
+		// Preserve FIFO order behind already-waiting jobs.
+		s.enqueue(j)
+		return
+	}
+	if !s.tryPlace(j) {
+		s.enqueue(j)
+	}
+}
+
+func (s *Scheduler) enqueue(j *workload.Job) {
+	s.stats.Queued++
+	s.enqueuedAt[j.ID] = s.eng.Now()
+	s.queue = append(s.queue, j)
+}
+
+func (s *Scheduler) drainQueue() {
+	for s.queueHead < len(s.queue) {
+		j := s.queue[s.queueHead]
+		if !s.tryPlace(j) {
+			break
+		}
+		if at, ok := s.enqueuedAt[j.ID]; ok {
+			s.waitHist.Add(float64(s.eng.Now().Sub(at)))
+			delete(s.enqueuedAt, j.ID)
+		}
+		s.queue[s.queueHead] = nil
+		s.queueHead++
+	}
+	if s.queueHead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.queueHead = 0
+	} else if s.queueHead > 4096 && s.queueHead*2 > len(s.queue) {
+		n := copy(s.queue, s.queue[s.queueHead:])
+		s.queue = s.queue[:n]
+		s.queueHead = 0
+	}
+}
+
+// tryPlace attempts to place j, returning false when nothing fits anywhere.
+func (s *Scheduler) tryPlace(j *workload.Job) bool {
+	row, overflow := s.chooseRow(j)
+	if row < 0 {
+		return false
+	}
+	sv := s.pickInRow(j, row)
+	if sv == nil {
+		return false
+	}
+	if overflow {
+		s.stats.Overflowed++
+	}
+	s.place(j, sv)
+	return true
+}
+
+// chooseRow samples a row with probability proportional to the job's product
+// affinity weight times the row's schedulable-server count — the paper's
+// "jobs scheduled to a row ∝ available servers of the row". The second
+// return value reports that the job's preferred rows were all full and the
+// choice fell back to unweighted rows.
+func (s *Scheduler) chooseRow(j *workload.Job) (int, bool) {
+	weights := s.productWeights(j)
+	if row := s.pickWeightedRow(j, weights); row >= 0 {
+		return row, false
+	}
+	// Preferred rows are full or weightless: overflow anywhere with space.
+	if row := s.pickWeightedRow(j, rowWeights{}); row >= 0 {
+		return row, true
+	}
+	return -1, false
+}
+
+// pickWeightedRow selects a row among those with positive weight and fitting
+// capacity, delegating to the installed RowChooser or falling back to
+// capacity-proportional sampling. Returns −1 when no row is eligible.
+func (s *Scheduler) pickWeightedRow(j *workload.Job, weights rowWeights) int {
+	if s.rowChooser != nil {
+		var eligible []int
+		for r := range s.avail {
+			if weights.at(r) > 0 && s.fitCount(j, r) > 0 {
+				eligible = append(eligible, r)
+			}
+		}
+		if len(eligible) == 0 {
+			return -1
+		}
+		row := s.rowChooser.ChooseRow(s.rng, j, eligible,
+			func(r int) int { return s.fitCount(j, r) },
+			s.RowUtilization)
+		for _, r := range eligible {
+			if r == row {
+				return row
+			}
+		}
+		// A chooser returning an ineligible row is a bug in the chooser;
+		// degrade to the default rather than misplace the job.
+	}
+	total := 0.0
+	for r := range s.avail {
+		total += weights.at(r) * float64(s.fitCount(j, r))
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := s.rng.Float64() * total
+	for r := range s.avail {
+		x -= weights.at(r) * float64(s.fitCount(j, r))
+		if x < 0 {
+			return r
+		}
+	}
+	// Floating-point slack: fall through to the last eligible row.
+	for r := len(s.avail) - 1; r >= 0; r-- {
+		if weights.at(r) > 0 && s.fitCount(j, r) > 0 {
+			return r
+		}
+	}
+	return -1
+}
+
+// fitCount approximates the number of servers on row r that fit j. For
+// single-container jobs (the batch workload) the availability index is
+// exact; multi-container jobs scan.
+func (s *Scheduler) fitCount(j *workload.Job, r int) int {
+	if j.Containers <= 1 {
+		return len(s.avail[r])
+	}
+	n := 0
+	for _, sv := range s.avail[r] {
+		if sv.FreeContainers() >= j.Containers {
+			n++
+		}
+	}
+	return n
+}
+
+type rowWeights struct {
+	w []float64 // nil means uniform
+}
+
+func (rw rowWeights) at(r int) float64 {
+	if rw.w == nil {
+		return 1
+	}
+	if r >= len(rw.w) {
+		return 0
+	}
+	return rw.w[r]
+}
+
+// productWeights returns the job's row-affinity weights. The scheduler keeps
+// no product table; weights travel on the jobs' product registered via
+// SetProductWeights.
+func (s *Scheduler) productWeights(j *workload.Job) rowWeights {
+	if j.Product >= 0 && j.Product < len(s.productRows) {
+		return rowWeights{w: s.productRows[j.Product]}
+	}
+	return rowWeights{}
+}
+
+// SetProductWeights installs the per-product row-affinity table. Index p
+// corresponds to workload Product index p; nil entries mean uniform.
+func (s *Scheduler) SetProductWeights(table [][]float64) { s.productRows = table }
+
+func (s *Scheduler) pickInRow(j *workload.Job, row int) *cluster.Server {
+	cands := s.avail[row]
+	if len(cands) == 0 {
+		return nil
+	}
+	if j.Containers > 1 {
+		fit := make([]*cluster.Server, 0, len(cands))
+		for _, sv := range cands {
+			if sv.FreeContainers() >= j.Containers {
+				fit = append(fit, sv)
+			}
+		}
+		if len(fit) == 0 {
+			return nil
+		}
+		return s.policy.Pick(s.rng, j, fit)
+	}
+	return s.policy.Pick(s.rng, j, cands)
+}
+
+func (s *Scheduler) place(j *workload.Job, sv *cluster.Server) {
+	sv.Allocate(j.Containers, j.CPU)
+	s.busyRow[sv.Row] += j.Containers
+	s.refreshAvail(sv)
+	s.stats.Placed++
+
+	rj := &runningJob{
+		job:         j,
+		server:      sv,
+		remainingMS: float64(j.Work),
+		startedAt:   s.eng.Now(),
+		lastUpdate:  s.eng.Now(),
+	}
+	list := s.running[sv.ID]
+	rj.idx = len(list)
+	s.running[sv.ID] = append(list, rj)
+	s.scheduleCompletion(rj)
+
+	if s.onPlace != nil {
+		s.onPlace(j, sv)
+	}
+}
+
+func (s *Scheduler) scheduleCompletion(rj *runningJob) {
+	speed := rj.server.Speed()
+	wall := sim.Duration(rj.remainingMS/speed + 0.5)
+	if wall < 0 {
+		wall = 0
+	}
+	rj.handle = s.eng.After(wall, "job-complete", func(now sim.Time) { s.complete(rj, now) })
+}
+
+func (s *Scheduler) complete(rj *runningJob, now sim.Time) {
+	sv := rj.server
+	// Remove from the per-server list (swap-remove, index-tracked).
+	list := s.running[sv.ID]
+	last := len(list) - 1
+	moved := list[last]
+	list[rj.idx] = moved
+	moved.idx = rj.idx
+	s.running[sv.ID] = list[:last]
+	if last == 0 {
+		delete(s.running, sv.ID)
+	}
+
+	sv.Release(rj.job.Containers, rj.job.CPU)
+	s.busyRow[sv.Row] -= rj.job.Containers
+	s.refreshAvail(sv)
+	s.stats.Completed++
+	if rj.job.Work > 0 {
+		s.stretchHist.Add(float64(now.Sub(rj.startedAt)) / float64(rj.job.Work))
+	}
+	if s.onComplete != nil {
+		s.onComplete(rj.job, sv)
+	}
+	s.drainQueue()
+}
+
+// speedChanged reschedules the completions of every job running on sv after
+// a DVFS frequency change: elapsed wall-clock time is converted to consumed
+// work at the old speed, and the remainder is replayed at the new speed.
+func (s *Scheduler) speedChanged(sv *cluster.Server, oldSpeed float64) {
+	now := s.eng.Now()
+	for _, rj := range s.running[sv.ID] {
+		elapsed := float64(now.Sub(rj.lastUpdate))
+		rj.remainingMS -= elapsed * oldSpeed
+		if rj.remainingMS < 0 {
+			rj.remainingMS = 0
+		}
+		rj.lastUpdate = now
+		rj.handle.Cancel()
+		s.scheduleCompletion(rj)
+	}
+}
+
+// RunningJobs returns the number of jobs currently executing on sv.
+func (s *Scheduler) RunningJobs(id cluster.ServerID) int { return len(s.running[id]) }
+
+// Reserve permanently allocates containers on a specific server, bypassing
+// placement. The service substrate uses it to pin long-running
+// latency-critical instances (§4.3). It keeps the availability index
+// consistent, which direct cluster.Server.Allocate calls would not.
+func (s *Scheduler) Reserve(id cluster.ServerID, containers int, cpu float64) error {
+	if int(id) < 0 || int(id) >= len(s.c.Servers) {
+		return fmt.Errorf("scheduler: reserve on unknown server %d", id)
+	}
+	sv := s.c.Server(id)
+	if sv.FreeContainers() < containers {
+		return fmt.Errorf("scheduler: server %d has %d free containers, need %d",
+			id, sv.FreeContainers(), containers)
+	}
+	sv.Allocate(containers, cpu)
+	s.busyRow[sv.Row] += containers
+	s.refreshAvail(sv)
+	return nil
+}
+
+// FailServer powers a server off: every running job on it is killed (its
+// containers released, its completion cancelled, Stats.Killed incremented)
+// and the server leaves the candidate list until RepairServer. This is the
+// blast radius of a breaker trip.
+func (s *Scheduler) FailServer(id cluster.ServerID) error {
+	if int(id) < 0 || int(id) >= len(s.c.Servers) {
+		return fmt.Errorf("scheduler: fail of unknown server %d", id)
+	}
+	sv := s.c.Server(id)
+	if sv.Failed() {
+		return fmt.Errorf("scheduler: server %d already failed", id)
+	}
+	for _, rj := range s.running[sv.ID] {
+		rj.handle.Cancel()
+		sv.Release(rj.job.Containers, rj.job.CPU)
+		s.busyRow[sv.Row] -= rj.job.Containers
+		s.stats.Killed++
+	}
+	delete(s.running, sv.ID)
+	sv.SetFailed(true)
+	s.refreshAvail(sv)
+	return nil
+}
+
+// RepairServer powers a failed server back on and makes it schedulable.
+func (s *Scheduler) RepairServer(id cluster.ServerID) error {
+	if int(id) < 0 || int(id) >= len(s.c.Servers) {
+		return fmt.Errorf("scheduler: repair of unknown server %d", id)
+	}
+	sv := s.c.Server(id)
+	if !sv.Failed() {
+		return fmt.Errorf("scheduler: server %d not failed", id)
+	}
+	sv.SetFailed(false)
+	s.refreshAvail(sv)
+	s.drainQueue()
+	return nil
+}
+
+// Release returns containers previously reserved with Reserve.
+func (s *Scheduler) Release(id cluster.ServerID, containers int, cpu float64) error {
+	if int(id) < 0 || int(id) >= len(s.c.Servers) {
+		return fmt.Errorf("scheduler: release on unknown server %d", id)
+	}
+	sv := s.c.Server(id)
+	sv.Release(containers, cpu)
+	s.busyRow[sv.Row] -= containers
+	s.refreshAvail(sv)
+	s.drainQueue()
+	return nil
+}

@@ -1,0 +1,512 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newTestCluster(t *testing.T, rows, racks, perRack int) *cluster.Cluster {
+	t.Helper()
+	sp := cluster.DefaultSpec()
+	sp.Rows = rows
+	sp.RacksPerRow = racks
+	sp.ServersPerRack = perRack
+	sp.NoiseSigmaW = 0
+	c, err := cluster.New(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func batchJob(id int64, work sim.Duration, cpu float64) *workload.Job {
+	return &workload.Job{ID: id, Kind: workload.Batch, Work: work, CPU: cpu, Containers: 1, Product: -1}
+}
+
+func TestPlaceAndComplete(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 2)
+	s := New(eng, c, 1, nil)
+
+	var placedOn, completedOn cluster.ServerID
+	s.OnPlace(func(j *workload.Job, sv *cluster.Server) { placedOn = sv.ID })
+	s.OnComplete(func(j *workload.Job, sv *cluster.Server) { completedOn = sv.ID })
+
+	s.Submit(batchJob(1, 5*sim.Minute, 1))
+	if got := s.Stats().Placed; got != 1 {
+		t.Fatalf("placed %d, want 1", got)
+	}
+	if c.Server(placedOn).Busy() != 1 {
+		t.Error("container not allocated")
+	}
+	if err := eng.RunUntil(sim.Time(10 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Completed; got != 1 {
+		t.Fatalf("completed %d, want 1", got)
+	}
+	if completedOn != placedOn {
+		t.Error("completed on a different server")
+	}
+	if c.Server(placedOn).Busy() != 0 {
+		t.Error("container not released")
+	}
+}
+
+func TestFreezeBlocksPlacement(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 2)
+	s := New(eng, c, 1, nil)
+
+	if err := s.Freeze(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze(0); err == nil {
+		t.Error("double freeze accepted")
+	}
+	for i := int64(0); i < 40; i++ {
+		s.Submit(batchJob(i, time10m(), 1))
+	}
+	// Server 1 has 16 containers; 40 jobs: 16 run there, 24 queue.
+	if c.Server(0).Busy() != 0 {
+		t.Error("job placed on frozen server")
+	}
+	if c.Server(1).Busy() != 16 {
+		t.Errorf("server 1 busy %d, want 16", c.Server(1).Busy())
+	}
+	if s.QueueLen() != 24 {
+		t.Errorf("queue %d, want 24", s.QueueLen())
+	}
+	// Unfreezing drains the queue onto server 0.
+	if err := s.Unfreeze(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Server(0).Busy() != 16 {
+		t.Errorf("server 0 busy %d after unfreeze, want 16", c.Server(0).Busy())
+	}
+	if s.QueueLen() != 8 {
+		t.Errorf("queue %d, want 8", s.QueueLen())
+	}
+	if err := s.Unfreeze(0); err == nil {
+		t.Error("unfreeze of unfrozen server accepted")
+	}
+}
+
+func time10m() sim.Duration { return 10 * sim.Minute }
+
+func TestFreezeDoesNotTouchRunningJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1)
+	s := New(eng, c, 1, nil)
+	s.Submit(batchJob(1, 10*sim.Minute, 1))
+	if err := s.Freeze(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntil(sim.Time(20 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Completed != 1 {
+		t.Error("running job did not complete on frozen server")
+	}
+}
+
+func TestUnknownServerErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1)
+	s := New(eng, c, 1, nil)
+	if err := s.Freeze(99); err == nil {
+		t.Error("freeze of unknown id accepted")
+	}
+	if err := s.Unfreeze(-1); err == nil {
+		t.Error("unfreeze of negative id accepted")
+	}
+	if err := s.Reserve(99, 1, 1); err == nil {
+		t.Error("reserve on unknown id accepted")
+	}
+	if err := s.Release(99, 1, 1); err == nil {
+		t.Error("release on unknown id accepted")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1) // 16 containers total
+	s := New(eng, c, 1, nil)
+	var order []int64
+	s.OnPlace(func(j *workload.Job, sv *cluster.Server) { order = append(order, j.ID) })
+	// Fill the server, then queue three more.
+	for i := int64(0); i < 19; i++ {
+		s.Submit(batchJob(i, 10*sim.Minute, 1))
+	}
+	if s.QueueLen() != 3 {
+		t.Fatalf("queue %d, want 3", s.QueueLen())
+	}
+	if err := eng.RunUntil(sim.Time(sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// The three queued jobs must have been placed in submission order.
+	tail := order[16:]
+	if len(tail) != 3 || tail[0] != 16 || tail[1] != 17 || tail[2] != 18 {
+		t.Errorf("queued jobs placed in order %v", tail)
+	}
+}
+
+func TestJobConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 2, 2, 4)
+	s := New(eng, c, 3, nil)
+	gen, err := workload.NewGenerator(eng, 3, []workload.Product{workload.DefaultProduct("a", 40)},
+		workload.DefaultDurations(), s.Submit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+	if err := eng.RunUntil(sim.Time(2 * sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	if err := eng.RunUntil(sim.Time(6 * sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Submitted == 0 {
+		t.Fatal("no jobs submitted")
+	}
+	// After drain-out every submitted job completed exactly once and every
+	// container is free: nothing lost, nothing duplicated.
+	if st.Placed != st.Submitted || st.Completed != st.Submitted {
+		t.Errorf("conservation violated: submitted=%d placed=%d completed=%d queue=%d",
+			st.Submitted, st.Placed, st.Completed, s.QueueLen())
+	}
+	for _, sv := range c.Servers {
+		if sv.Busy() != 0 {
+			t.Errorf("server %d still busy=%d after drain", sv.ID, sv.Busy())
+		}
+	}
+}
+
+func TestPlacementProportionalToAvailability(t *testing.T) {
+	// Paper §3.4: jobs scheduled to a row ∝ available servers. Freeze half
+	// of row 0 and check row 0 receives ≈ 1/3 of placements (10 vs 20
+	// available).
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 2, 1, 20)
+	s := New(eng, c, 5, nil)
+	for i := 0; i < 10; i++ {
+		if err := s.Freeze(cluster.ServerID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perRow := map[int]int{}
+	s.OnPlace(func(j *workload.Job, sv *cluster.Server) { perRow[sv.Row]++ })
+	gen, err := workload.NewGenerator(eng, 5, []workload.Product{workload.DefaultProduct("a", 60)},
+		workload.DefaultDurations(), s.Submit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+	if err := eng.RunUntil(sim.Time(3 * sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	total := perRow[0] + perRow[1]
+	frac := float64(perRow[0]) / float64(total)
+	if math.Abs(frac-1.0/3) > 0.05 {
+		t.Errorf("row 0 received %.3f of jobs, want ≈0.333", frac)
+	}
+}
+
+func TestProductRowAffinity(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 2, 1, 10)
+	s := New(eng, c, 7, nil)
+	// Product 0 pinned to row 1 only.
+	s.SetProductWeights([][]float64{{0, 1}})
+	perRow := map[int]int{}
+	s.OnPlace(func(j *workload.Job, sv *cluster.Server) { perRow[sv.Row]++ })
+	for i := int64(0); i < 100; i++ {
+		j := batchJob(i, sim.Minute, 1)
+		j.Product = 0
+		s.Submit(j)
+		eng.RunUntil(eng.Now().Add(30 * sim.Second))
+	}
+	if perRow[0] != 0 {
+		t.Errorf("affinity violated: %d jobs on row 0", perRow[0])
+	}
+	if perRow[1] == 0 {
+		t.Error("no jobs placed on preferred row")
+	}
+}
+
+func TestOverflowWhenPreferredRowFull(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 2, 1, 1) // 1 server per row, 16 containers
+	s := New(eng, c, 7, nil)
+	s.SetProductWeights([][]float64{{0, 1}})
+	for i := int64(0); i < 20; i++ {
+		j := batchJob(i, 30*sim.Minute, 1)
+		j.Product = 0
+		s.Submit(j)
+	}
+	// 16 land on row 1, 4 overflow to row 0.
+	if c.Server(1).Busy() != 16 {
+		t.Errorf("preferred server busy %d", c.Server(1).Busy())
+	}
+	if c.Server(0).Busy() != 4 {
+		t.Errorf("overflow server busy %d", c.Server(0).Busy())
+	}
+	if got := s.Stats().Overflowed; got != 4 {
+		t.Errorf("overflowed %d, want 4", got)
+	}
+}
+
+func TestSpeedChangeStretchesJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1)
+	s := New(eng, c, 1, nil)
+	var doneAt sim.Time
+	s.OnComplete(func(j *workload.Job, sv *cluster.Server) { doneAt = eng.Now() })
+	s.Submit(batchJob(1, 10*sim.Minute, 1))
+
+	// After 5 minutes, cap the server to half speed.
+	eng.At(sim.Time(5*sim.Minute), "cap", func(sim.Time) {
+		sv := c.Server(0)
+		// Choose a cap yielding speed exactly 0.5.
+		sp := sv.Spec()
+		cap := sp.IdlePowerW + (sv.DemandW()-sp.IdlePowerW)*0.5
+		sv.ApplyCap(cap)
+	})
+	if err := eng.RunUntil(sim.Time(sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// 5 min at full speed + 5 min of work at 0.5 speed = 10 min more.
+	want := sim.Time(15 * sim.Minute)
+	if doneAt < want-sim.Time(sim.Second) || doneAt > want+sim.Time(sim.Second) {
+		t.Errorf("job finished at %v, want ≈%v", doneAt, want)
+	}
+}
+
+func TestSpeedRestoreResumesFullRate(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1)
+	s := New(eng, c, 1, nil)
+	var doneAt sim.Time
+	s.OnComplete(func(j *workload.Job, sv *cluster.Server) { doneAt = eng.Now() })
+	s.Submit(batchJob(1, 10*sim.Minute, 1))
+	sv := c.Server(0)
+	sp := sv.Spec()
+	eng.At(sim.Time(2*sim.Minute), "cap", func(sim.Time) {
+		sv.ApplyCap(sp.IdlePowerW + (sv.DemandW()-sp.IdlePowerW)*0.5)
+	})
+	eng.At(sim.Time(6*sim.Minute), "uncap", func(sim.Time) { sv.RemoveCap() })
+	if err := eng.RunUntil(sim.Time(sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// 2 min full + 4 min at half (2 min of work) + 6 min full = done at 12 min.
+	want := sim.Time(12 * sim.Minute)
+	if doneAt < want-sim.Time(sim.Second) || doneAt > want+sim.Time(sim.Second) {
+		t.Errorf("job finished at %v, want ≈%v", doneAt, want)
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1)
+	s := New(eng, c, 1, nil)
+	if err := s.Reserve(0, 16, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reserve(0, 1, 1); err == nil {
+		t.Error("over-reserve accepted")
+	}
+	// Full server is unavailable: submissions queue.
+	s.Submit(batchJob(1, sim.Minute, 1))
+	if s.QueueLen() != 1 {
+		t.Fatalf("queue %d, want 1", s.QueueLen())
+	}
+	if err := s.Release(0, 16, 16); err != nil {
+		t.Fatal(err)
+	}
+	if s.QueueLen() != 0 {
+		t.Error("release did not drain queue")
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	c := newTestCluster(t, 1, 1, 3)
+	_ = New(eng, c, 1, nil) // registers listeners; we use servers directly
+	a, b, d := c.Server(0), c.Server(1), c.Server(2)
+	a.Allocate(4, 4)
+	b.Allocate(8, 8)
+	d.Allocate(12, 12)
+	cands := []*cluster.Server{a, b, d}
+	j := batchJob(1, sim.Minute, 1)
+
+	if got := (LeastLoaded{}).Pick(rng, j, cands); got != a {
+		t.Errorf("LeastLoaded picked %d", got.ID)
+	}
+	if got := (BestFit{}).Pick(rng, j, cands); got != d {
+		t.Errorf("BestFit picked %d", got.ID)
+	}
+	rr := &RoundRobin{}
+	seen := map[cluster.ServerID]int{}
+	for i := 0; i < 6; i++ {
+		seen[rr.Pick(rng, j, cands).ID]++
+	}
+	if seen[0] != 2 || seen[1] != 2 || seen[2] != 2 {
+		t.Errorf("RoundRobin distribution %v", seen)
+	}
+	counts := map[cluster.ServerID]int{}
+	for i := 0; i < 3000; i++ {
+		counts[(RandomFit{}).Pick(rng, j, cands).ID]++
+	}
+	for id, n := range counts {
+		if n < 800 || n > 1200 {
+			t.Errorf("RandomFit server %d picked %d of 3000", id, n)
+		}
+	}
+	for _, p := range []Policy{RandomFit{}, LeastLoaded{}, BestFit{}, &RoundRobin{}} {
+		if p.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		eng := sim.NewEngine()
+		sp := cluster.DefaultSpec()
+		sp.Rows, sp.RacksPerRow, sp.ServersPerRack = 2, 2, 5
+		c, err := cluster.New(sp, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(eng, c, 11, nil)
+		gen, err := workload.NewGenerator(eng, 11, []workload.Product{workload.DefaultProduct("a", 30)},
+			workload.DefaultDurations(), s.Submit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Start()
+		if err := eng.RunUntil(sim.Time(2 * sim.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		var sig int64
+		for _, sv := range c.Servers {
+			sig = sig*31 + int64(sv.Busy())
+		}
+		return s.Stats().Completed, sig
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("runs diverged: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+}
+
+// Property: for any freeze/unfreeze sequence, the availability index exactly
+// matches the predicate "unfrozen and has free containers".
+func TestAvailabilityIndexProperty(t *testing.T) {
+	sp := cluster.DefaultSpec()
+	sp.Rows, sp.RacksPerRow, sp.ServersPerRack = 2, 1, 5
+	sp.NoiseSigmaW = 0
+	f := func(ops []uint8) bool {
+		eng := sim.NewEngine()
+		c, err := cluster.New(sp, 1)
+		if err != nil {
+			return false
+		}
+		s := New(eng, c, 1, nil)
+		for _, op := range ops {
+			id := cluster.ServerID(int(op) % len(c.Servers))
+			switch {
+			case op%3 == 0:
+				_ = s.Freeze(id) // may fail if already frozen; fine
+			case op%3 == 1:
+				_ = s.Unfreeze(id)
+			default:
+				s.Submit(batchJob(int64(op), sim.Minute, 1))
+			}
+		}
+		for r := 0; r < c.Rows(); r++ {
+			want := 0
+			for _, sv := range c.Row(r) {
+				if !sv.Frozen() && sv.FreeContainers() >= 1 {
+					want++
+				}
+			}
+			if s.AvailableInRow(r) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueWaitAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 1) // 16 containers
+	s := New(eng, c, 1, nil)
+	if s.QueueWaits() != 0 || s.QueueWaitQuantile(0.5) != 0 {
+		t.Fatal("wait stats not empty initially")
+	}
+	// Fill the server with 10-minute jobs, then submit two more that must
+	// wait for completions.
+	for i := int64(0); i < 16; i++ {
+		s.Submit(batchJob(i, 10*sim.Minute, 1))
+	}
+	s.Submit(batchJob(100, sim.Minute, 1))
+	s.Submit(batchJob(101, sim.Minute, 1))
+	if err := eng.RunUntil(sim.Time(sim.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QueueWaits(); got != 2 {
+		t.Fatalf("recorded %d waits, want 2", got)
+	}
+	// Both queued jobs waited until the first completions at ≈10 minutes.
+	w := s.QueueWaitQuantile(0.5)
+	if w < 9*sim.Minute || w > 11*sim.Minute {
+		t.Errorf("median wait %v, want ≈10m", w)
+	}
+	// Jobs placed immediately contribute no samples.
+	s.Submit(batchJob(102, sim.Minute, 1))
+	if s.QueueWaits() != 2 {
+		t.Error("immediate placement recorded a wait")
+	}
+}
+
+func TestOversizedJobRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 2)
+	s := New(eng, c, 1, nil)
+	big := batchJob(1, sim.Minute, 1)
+	big.Containers = c.Spec.Containers + 1
+	s.Submit(big)
+	if got := s.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected %d, want 1", got)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatal("oversized job queued")
+	}
+	// Conservation accounting: rejected jobs count as submitted, never
+	// placed; jobs behind them are unaffected.
+	s.Submit(batchJob(2, sim.Minute, 1))
+	if st := s.Stats(); st.Submitted != 2 || st.Placed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	zero := batchJob(3, sim.Minute, 1)
+	zero.Containers = 0
+	s.Submit(zero)
+	if got := s.Stats().Rejected; got != 2 {
+		t.Errorf("zero-container job not rejected: %d", got)
+	}
+}

@@ -1,0 +1,313 @@
+// Package service simulates the latency-critical interactive workload of
+// §4.3: a Redis-like cluster of single-threaded server instances, each
+// pinned to one machine, receiving an open-loop request stream from clients
+// in another (uncontrolled) cluster. Each instance is an FCFS queue whose
+// service rate scales with the host's DVFS frequency factor, so power
+// capping inflates service times and builds queues — the mechanism behind
+// the near-doubled 99.9th-percentile latencies in Fig 11 — while Ampere's
+// freeze/unfreeze never touches running instances.
+package service
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Op is one benchmark operation type with its full-speed service time, in
+// microseconds. The defaults mirror redis-benchmark's operation set used in
+// Fig 11.
+type Op struct {
+	Name          string
+	BaseServiceUS float64
+	// SLOUS is the latency objective; requests completing later count as
+	// SLO misses. Zero disables tracking for the op. DefaultOps sets it to
+	// 20× the service time, a typical interactive tail budget.
+	SLOUS float64
+}
+
+// DefaultOps returns the six operations reported in Fig 11. Base service
+// times are plausible single-thread Redis costs; only their relative
+// inflation under capping matters for the reproduction.
+func DefaultOps() []Op {
+	ops := []Op{
+		{Name: "SET", BaseServiceUS: 55},
+		{Name: "GET", BaseServiceUS: 50},
+		{Name: "LPUSH", BaseServiceUS: 62},
+		{Name: "LPOP", BaseServiceUS: 58},
+		{Name: "LRANGE_600", BaseServiceUS: 620},
+		{Name: "MSET", BaseServiceUS: 185},
+	}
+	for i := range ops {
+		ops[i].SLOUS = 20 * ops[i].BaseServiceUS
+	}
+	return ops
+}
+
+// Config parameterizes the client load.
+type Config struct {
+	// RequestsPerSecond is the total open-loop request rate per instance,
+	// split across Ops by OpMix.
+	RequestsPerSecond float64
+	// Ops lists the operation types (DefaultOps when nil).
+	Ops []Op
+	// OpMix weights the operations (uniform when nil).
+	OpMix []float64
+	// Window is the batch-processing granularity; requests within a window
+	// are generated and replayed against the recorded frequency history at
+	// the window's end. Must be positive (default 10 s).
+	Window sim.Duration
+}
+
+// DefaultConfig returns a moderate per-instance load (ρ ≈ 0.2 at full speed
+// with the default mix) that leaves clear headroom at full frequency and
+// visible queueing when capped to half.
+func DefaultConfig() Config {
+	return Config{RequestsPerSecond: 1200, Window: 10 * sim.Second}
+}
+
+type speedSeg struct {
+	at    sim.Time
+	speed float64
+}
+
+type instance struct {
+	server *cluster.Server
+	rng    *rand.Rand
+	// busyUntilMS is the virtual time (fractional ms) when the instance's
+	// single thread frees up.
+	busyUntilMS float64
+	// segs is the frequency history within the current window, starting
+	// with the speed at the window's start.
+	segs []speedSeg
+}
+
+// Service drives request generation and latency accounting.
+type Service struct {
+	eng       *sim.Engine
+	cfg       Config
+	ops       []Op
+	mix       []float64 // cumulative weights
+	instances []*instance
+	hist      []*stats.LogHistogram // per op, latency in µs
+	served    []int64               // per op
+	sloMisses []int64               // per op
+	handle    *sim.Handle
+	winStart  sim.Time
+}
+
+// New pins one service instance on each given server and prepares the client
+// load. The caller is responsible for reserving scheduler containers for the
+// instances (scheduler.Reserve) so placement and power see their footprint.
+func New(eng *sim.Engine, seed uint64, cfg Config, servers []*cluster.Server) (*Service, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("service: no servers")
+	}
+	if cfg.RequestsPerSecond <= 0 {
+		return nil, fmt.Errorf("service: non-positive request rate %v", cfg.RequestsPerSecond)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * sim.Second
+	}
+	ops := cfg.Ops
+	if ops == nil {
+		ops = DefaultOps()
+	}
+	for i, op := range ops {
+		if op.BaseServiceUS <= 0 {
+			return nil, fmt.Errorf("service: op %d (%s) has service time %v", i, op.Name, op.BaseServiceUS)
+		}
+	}
+	mix := cfg.OpMix
+	if mix == nil {
+		mix = make([]float64, len(ops))
+		for i := range mix {
+			mix[i] = 1
+		}
+	}
+	if len(mix) != len(ops) {
+		return nil, fmt.Errorf("service: OpMix has %d weights for %d ops", len(mix), len(ops))
+	}
+	cum := make([]float64, len(mix))
+	total := 0.0
+	for i, w := range mix {
+		if w < 0 {
+			return nil, fmt.Errorf("service: negative op weight %v", w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("service: all op weights zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+
+	s := &Service{eng: eng, cfg: cfg, ops: ops, mix: cum}
+	for range ops {
+		h, err := stats.NewLogHistogram(1, 60e6, 2400) // 1 µs … 60 s
+		if err != nil {
+			return nil, err
+		}
+		s.hist = append(s.hist, h)
+	}
+	s.served = make([]int64, len(ops))
+	s.sloMisses = make([]int64, len(ops))
+	for i, sv := range servers {
+		inst := &instance{
+			server: sv,
+			rng:    sim.SubRNG(seed, fmt.Sprintf("service-instance-%d", i)),
+		}
+		inst.segs = []speedSeg{{at: eng.Now(), speed: sv.Speed()}}
+		sv.OnSpeedChange(func(srv *cluster.Server, old float64) {
+			inst.segs = append(inst.segs, speedSeg{at: eng.Now(), speed: srv.Speed()})
+		})
+		s.instances = append(s.instances, inst)
+	}
+	return s, nil
+}
+
+// Start begins request processing; the first window closes one Window from
+// now.
+func (s *Service) Start() {
+	if s.handle != nil {
+		return
+	}
+	s.winStart = s.eng.Now()
+	s.handle = s.eng.Every(s.eng.Now().Add(s.cfg.Window), s.cfg.Window, "service-window", s.closeWindow)
+}
+
+// Stop halts request generation after the current window.
+func (s *Service) Stop() {
+	if s.handle != nil {
+		s.handle.Cancel()
+		s.handle = nil
+	}
+}
+
+// Served returns the number of completed requests for op index i.
+func (s *Service) Served(i int) int64 { return s.served[i] }
+
+// Ops returns the operation table.
+func (s *Service) Ops() []Op { return s.ops }
+
+// LatencyQuantileUS returns the q-th latency quantile (q in [0,1]) of op
+// index i, in microseconds.
+func (s *Service) LatencyQuantileUS(i int, q float64) float64 {
+	return s.hist[i].Quantile(q)
+}
+
+// MeanLatencyUS returns op i's approximate mean latency in microseconds.
+func (s *Service) MeanLatencyUS(i int) float64 { return s.hist[i].Mean() }
+
+// SLOMissRate returns the fraction of op i's requests that exceeded their
+// latency objective (0 when the op has no SLO or nothing was served).
+func (s *Service) SLOMissRate(i int) float64 {
+	if s.served[i] == 0 {
+		return 0
+	}
+	return float64(s.sloMisses[i]) / float64(s.served[i])
+}
+
+// closeWindow replays the window's request arrivals for every instance
+// against the frequency history recorded during the window.
+func (s *Service) closeWindow(now sim.Time) {
+	start := s.winStart
+	s.winStart = now
+	windowMS := float64(now.Sub(start))
+	for _, inst := range s.instances {
+		s.replay(inst, start, windowMS)
+		// Compress history: keep only the current speed for the next window.
+		inst.segs = inst.segs[:0]
+		inst.segs = append(inst.segs, speedSeg{at: now, speed: inst.server.Speed()})
+	}
+}
+
+// replay generates the window's Poisson arrivals and pushes them through the
+// instance's single-threaded FCFS queue. Within the window the frequency is
+// piecewise constant per the recorded segments; work started near the window
+// edge is finished at the final segment's speed (exact unless the frequency
+// changes again immediately, a negligible horizon at 10 s windows vs 1 s
+// capping).
+func (s *Service) replay(inst *instance, start sim.Time, windowMS float64) {
+	lambdaPerMS := s.cfg.RequestsPerSecond / 1000
+	n := sim.Poisson(inst.rng, lambdaPerMS*windowMS)
+	if n == 0 {
+		return
+	}
+	arrivals := make([]float64, n) // ms offsets within the window
+	for i := range arrivals {
+		arrivals[i] = inst.rng.Float64() * windowMS
+	}
+	sort.Float64s(arrivals)
+
+	base := float64(start)
+	if inst.busyUntilMS < base {
+		inst.busyUntilMS = base
+	}
+	for _, off := range arrivals {
+		at := base + off
+		startSvc := at
+		if inst.busyUntilMS > startSvc {
+			startSvc = inst.busyUntilMS
+		}
+		opIdx := s.pickOp(inst.rng)
+		workMS := s.ops[opIdx].BaseServiceUS / 1000
+		done := s.finish(inst, startSvc, workMS)
+		inst.busyUntilMS = done
+		latencyUS := (done - at) * 1000
+		s.hist[opIdx].Add(latencyUS)
+		s.served[opIdx]++
+		if slo := s.ops[opIdx].SLOUS; slo > 0 && latencyUS > slo {
+			s.sloMisses[opIdx]++
+		}
+	}
+}
+
+// pickOp samples an operation index from the cumulative mix weights.
+func (s *Service) pickOp(r *rand.Rand) int {
+	x := r.Float64()
+	for i, c := range s.mix {
+		if x < c {
+			return i
+		}
+	}
+	return len(s.mix) - 1
+}
+
+// finish consumes workMS of full-speed work starting at startMS, walking the
+// instance's piecewise-constant frequency segments.
+func (s *Service) finish(inst *instance, startMS, workMS float64) float64 {
+	segs := inst.segs
+	// Locate the active segment (segments are few; linear scan from the end
+	// is cheapest because requests arrive in time order).
+	i := len(segs) - 1
+	for i > 0 && float64(segs[i].at) > startMS {
+		i--
+	}
+	t := startMS
+	for ; i < len(segs); i++ {
+		speed := segs[i].speed
+		segEnd := math.Inf(1)
+		if i+1 < len(segs) {
+			segEnd = float64(segs[i+1].at)
+		}
+		if t < float64(segs[i].at) {
+			t = float64(segs[i].at)
+		}
+		span := segEnd - t
+		if span*speed >= workMS {
+			return t + workMS/speed
+		}
+		workMS -= span * speed
+		t = segEnd
+	}
+	// Unreachable: the last segment extends to infinity.
+	return t
+}

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newServers(t *testing.T, n int) []*cluster.Server {
+	t.Helper()
+	sp := cluster.DefaultSpec()
+	sp.Rows, sp.RacksPerRow, sp.ServersPerRack = 1, 1, n
+	sp.NoiseSigmaW = 0
+	c, err := cluster.New(sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Servers
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	if _, err := New(eng, 1, DefaultConfig(), nil); err == nil {
+		t.Error("no servers accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.RequestsPerSecond = 0
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("zero rate accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Ops = []Op{{Name: "BAD", BaseServiceUS: 0}}
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("zero service time accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.OpMix = []float64{1}
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("mismatched mix accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Ops = []Op{{Name: "A", BaseServiceUS: 50}}
+	cfg.OpMix = []float64{-1}
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("negative weight accepted")
+	}
+	cfg.OpMix = []float64{0}
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+}
+
+func TestFullSpeedLatencyNearServiceTime(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 2)
+	cfg := Config{
+		RequestsPerSecond: 400, // ρ = 400·50µs = 0.02: almost no queueing
+		Ops:               []Op{{Name: "GET", BaseServiceUS: 50}},
+		Window:            10 * sim.Second,
+	}
+	s, err := New(eng, 7, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(2 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Served(0) == 0 {
+		t.Fatal("no requests served")
+	}
+	p50 := s.LatencyQuantileUS(0, 0.5)
+	if p50 < 45 || p50 > 70 {
+		t.Errorf("p50 latency %v µs, want ≈50 (service time)", p50)
+	}
+	p999 := s.LatencyQuantileUS(0, 0.999)
+	if p999 > 500 {
+		t.Errorf("p999 latency %v µs unexpectedly high at ρ=0.02", p999)
+	}
+}
+
+func TestCappingInflatesTailLatency(t *testing.T) {
+	// The Fig 11 mechanism: halving the frequency at moderate load must
+	// blow up the 99.9th percentile by clearly more than 2×.
+	run := func(capped bool) float64 {
+		eng := sim.NewEngine()
+		servers := newServers(t, 2)
+		for _, sv := range servers {
+			sv.Allocate(8, 8) // demand so a cap produces speed < 1
+			if capped {
+				sp := sv.Spec()
+				level := sp.IdlePowerW + (sv.DemandW()-sp.IdlePowerW)*0.5
+				sv.ApplyCap(level)
+			}
+		}
+		cfg := Config{
+			RequestsPerSecond: 4000, // ρ = 0.2 at full speed
+			Ops:               []Op{{Name: "GET", BaseServiceUS: 50}},
+			Window:            10 * sim.Second,
+		}
+		s, err := New(eng, 7, cfg, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		if err := eng.RunUntil(sim.Time(3 * sim.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		return s.LatencyQuantileUS(0, 0.999)
+	}
+	full := run(false)
+	capped := run(true)
+	if capped < full*1.8 {
+		t.Errorf("capping inflated p999 only %vµs → %vµs (%.2f×), want ≥1.8×",
+			full, capped, capped/full)
+	}
+}
+
+func TestMidWindowSpeedChange(t *testing.T) {
+	// A speed change in the middle of a window must affect only requests
+	// after it: medians of early vs late halves differ accordingly.
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	sv := servers[0]
+	sv.Allocate(8, 8)
+	cfg := Config{
+		RequestsPerSecond: 100,
+		Ops:               []Op{{Name: "GET", BaseServiceUS: 100}},
+		Window:            sim.Minute,
+	}
+	s, err := New(eng, 3, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	// Cap to half speed at t = 5 min, uncap at 10 min.
+	eng.At(sim.Time(5*sim.Minute), "cap", func(sim.Time) {
+		sp := sv.Spec()
+		sv.ApplyCap(sp.IdlePowerW + (sv.DemandW()-sp.IdlePowerW)*0.5)
+	})
+	eng.At(sim.Time(10*sim.Minute), "uncap", func(sim.Time) { sv.RemoveCap() })
+	if err := eng.RunUntil(sim.Time(15 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Roughly 1/3 of requests ran at half speed (latency ≈ 200 µs), the
+	// rest at full speed (≈ 100 µs): p50 near 100, p90 near 200.
+	p50 := s.LatencyQuantileUS(0, 0.50)
+	p90 := s.LatencyQuantileUS(0, 0.90)
+	if p50 < 90 || p50 > 130 {
+		t.Errorf("p50 = %v, want ≈100", p50)
+	}
+	if p90 < 170 || p90 > 260 {
+		t.Errorf("p90 = %v, want ≈200", p90)
+	}
+}
+
+func TestOpMixWeights(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	cfg := Config{
+		RequestsPerSecond: 1000,
+		Ops:               []Op{{Name: "A", BaseServiceUS: 10}, {Name: "B", BaseServiceUS: 10}},
+		OpMix:             []float64{3, 1},
+		Window:            10 * sim.Second,
+	}
+	s, err := New(eng, 5, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := float64(s.Served(0)), float64(s.Served(1))
+	if ratio := a / (a + b); math.Abs(ratio-0.75) > 0.03 {
+		t.Errorf("op A fraction %.3f, want 0.75", ratio)
+	}
+}
+
+func TestDefaultOpsShape(t *testing.T) {
+	ops := DefaultOps()
+	if len(ops) != 6 {
+		t.Fatalf("want the 6 Fig-11 operations, got %d", len(ops))
+	}
+	names := map[string]bool{}
+	for _, op := range ops {
+		names[op.Name] = true
+		if op.BaseServiceUS <= 0 {
+			t.Errorf("op %s has non-positive service time", op.Name)
+		}
+	}
+	for _, want := range []string{"SET", "GET", "LPUSH", "LPOP", "LRANGE_600", "MSET"} {
+		if !names[want] {
+			t.Errorf("missing op %s", want)
+		}
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	cfg := DefaultConfig()
+	s, err := New(eng, 1, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	s.Start()
+	if err := eng.RunUntil(sim.Time(30 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range s.Ops() {
+		total += s.Served(i)
+	}
+	s.Stop()
+	s.Stop()
+	if err := eng.RunUntil(sim.Time(2 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	var after int64
+	for i := range s.Ops() {
+		after += s.Served(i)
+	}
+	if after != total {
+		t.Errorf("service kept serving after Stop: %d -> %d", total, after)
+	}
+	if total == 0 {
+		t.Error("nothing served before Stop")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		eng := sim.NewEngine()
+		servers := newServers(t, 2)
+		cfg := DefaultConfig()
+		cfg.RequestsPerSecond = 500
+		s, err := New(eng, 42, cfg, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		if err := eng.RunUntil(sim.Time(sim.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for i := range s.Ops() {
+			total += s.Served(i)
+		}
+		return total, s.LatencyQuantileUS(0, 0.999)
+	}
+	n1, l1 := run()
+	n2, l2 := run()
+	if n1 != n2 || l1 != l2 {
+		t.Errorf("runs diverged: (%d, %v) vs (%d, %v)", n1, l1, n2, l2)
+	}
+}
+
+func TestSLOMissTracking(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	// SLO just above the service time: at trivial load nearly nothing
+	// misses; with the host capped to half speed everything does.
+	cfg := Config{
+		RequestsPerSecond: 50,
+		Ops:               []Op{{Name: "GET", BaseServiceUS: 100, SLOUS: 150}},
+		Window:            10 * sim.Second,
+	}
+	s, err := New(eng, 5, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(2 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if miss := s.SLOMissRate(0); miss > 0.02 {
+		t.Errorf("uncapped miss rate %.4f, want ≈0", miss)
+	}
+	// Cap to half speed: service takes 200 µs > 150 µs SLO.
+	sv := servers[0]
+	sv.Allocate(8, 8)
+	sp := sv.Spec()
+	sv.ApplyCap(sp.IdlePowerW + (sv.DemandW()-sp.IdlePowerW)*0.5)
+	served := s.Served(0)
+	if err := eng.RunUntil(sim.Time(4 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	missesAfter := float64(s.Served(0) - served) // all capped-phase requests
+	_ = missesAfter
+	if miss := s.SLOMissRate(0); miss < 0.3 {
+		t.Errorf("capped-phase miss rate %.4f too low overall", miss)
+	}
+}
+
+func TestDefaultOpsHaveSLOs(t *testing.T) {
+	for _, op := range DefaultOps() {
+		if op.SLOUS != 20*op.BaseServiceUS {
+			t.Errorf("op %s SLO %v, want 20×%v", op.Name, op.SLOUS, op.BaseServiceUS)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a callback executed at its scheduled virtual time.
+type Event func(now Time)
+
+// Handle identifies a scheduled event so it can be cancelled. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+type Handle struct {
+	item *eventItem
+}
+
+// Cancel removes the event from the queue if it has not fired yet. For
+// periodic events it stops all future firings.
+func (h *Handle) Cancel() {
+	if h != nil && h.item != nil {
+		h.item.cancelled = true
+	}
+}
+
+type eventItem struct {
+	at        Time
+	seq       uint64 // tiebreaker: FIFO among events at the same time
+	name      string
+	fn        Event
+	interval  Duration // > 0 for periodic events
+	cancelled bool
+	index     int // heap index
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*eventItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. Events scheduled for
+// the same timestamp fire in scheduling order, making runs fully
+// deterministic. Engine is not safe for concurrent use; all simulated
+// components run inside event callbacks on one goroutine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	stepLim uint64 // safety valve against runaway event loops; 0 = unlimited
+	steps   uint64
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetStepLimit bounds the total number of events the engine will execute;
+// exceeding it makes Run return an error. Zero (the default) means unlimited.
+func (e *Engine) SetStepLimit(n uint64) { e.stepLim = n }
+
+// ErrStepLimit is returned by Run/RunUntil when the configured step limit is
+// exceeded, which almost always indicates an event loop rescheduling itself
+// at the current time.
+var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+// At schedules fn to run at virtual time t. Scheduling in the past (before
+// Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, name string, fn Event) *Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
+	}
+	it := &eventItem{at: t, seq: e.seq, name: name, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return &Handle{item: it}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, name string, fn Event) *Handle {
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Every schedules fn to run first at time start and then every interval
+// thereafter, until the returned handle is cancelled. interval must be
+// positive.
+func (e *Engine) Every(start Time, interval Duration, name string, fn Event) *Handle {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %v for periodic event %q", interval, name))
+	}
+	if start < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, start, e.now))
+	}
+	it := &eventItem{at: start, seq: e.seq, name: name, fn: fn, interval: interval}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return &Handle{item: it}
+}
+
+// Step executes the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was executed (false when the queue is empty or
+// the engine was stopped).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.stopped {
+		it := heap.Pop(&e.queue).(*eventItem)
+		if it.cancelled {
+			continue
+		}
+		e.now = it.at
+		e.steps++
+		if it.interval > 0 {
+			// Re-arm before running so the callback can cancel via its handle.
+			it.at = it.at.Add(it.interval)
+			it.seq = e.seq
+			e.seq++
+			heap.Push(&e.queue, it)
+		}
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, Stop is called, or the step
+// limit is exceeded.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.stepLim > 0 && e.steps > e.stepLim {
+			return fmt.Errorf("%w after %d events at %v", ErrStepLimit, e.steps, e.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps ≤ end, then sets the clock to end.
+// Events scheduled after end remain queued, so the simulation can be resumed.
+func (e *Engine) RunUntil(end Time) error {
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > end {
+			break
+		}
+		e.Step()
+		if e.stepLim > 0 && e.steps > e.stepLim {
+			return fmt.Errorf("%w after %d events at %v", ErrStepLimit, e.steps, e.now)
+		}
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
+	return nil
+}
+
+// peek returns the next non-cancelled event without executing it, discarding
+// cancelled entries along the way.
+func (e *Engine) peek() *eventItem {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending returns the number of queued (possibly cancelled) events; intended
+// for tests and diagnostics.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(30*Time(Second), "c", func(now Time) { got = append(got, now) })
+	e.At(10*Time(Second), "a", func(now Time) { got = append(got, now) })
+	e.At(20*Time(Second), "b", func(now Time) { got = append(got, now) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10 * Time(Second), 20 * Time(Second), 30 * Time(Second)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if e.Now() != 30*Time(Second) {
+		t.Errorf("clock at %v, want 30s", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(Minute), "tied", func(Time) { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tied events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(Time(Minute), "later", func(Time) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before Now did not panic")
+		}
+	}()
+	e.At(0, "past", func(Time) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(Time(Second), "x", func(Time) { fired = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEnginePeriodic(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var h *Handle
+	h = e.Every(Time(Minute), Minute, "tick", func(now Time) {
+		count++
+		if count == 5 {
+			h.Cancel()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("periodic event fired %d times, want 5", count)
+	}
+	if e.Now() != Time(5*Minute) {
+		t.Errorf("clock at %v, want 5m", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(0, Minute, "tick", func(Time) { count++ })
+	if err := e.RunUntil(Time(10 * Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 11 { // fires at 0,1,...,10 minutes inclusive
+		t.Errorf("fired %d times, want 11", count)
+	}
+	if e.Now() != Time(10*Minute) {
+		t.Errorf("clock at %v, want 10m", e.Now())
+	}
+	// Resume: the periodic event is still armed.
+	if err := e.RunUntil(Time(12 * Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 13 {
+		t.Errorf("after resume fired %d times, want 13", count)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunUntil(Time(Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != Time(Hour) {
+		t.Errorf("idle clock at %v, want 1h", e.Now())
+	}
+}
+
+func TestEngineStepLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetStepLimit(10)
+	e.Every(0, Millisecond, "spin", func(Time) {})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(0, Second, "tick", func(Time) {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(Time(Second), "first", func(now Time) {
+		got = append(got, "first")
+		e.After(Second, "second", func(Time) { got = append(got, "second") })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != "second" {
+		t.Errorf("chained events = %v", got)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "d0 00:00:00.000"},
+		{Time(Day + Hour + Minute + Second + 1), "d1 01:01:01.001"},
+		{Time(90 * Second), "d0 00:01:30.000"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if d := DurationOfSeconds(1.5); d != 1500*Millisecond {
+		t.Errorf("DurationOfSeconds(1.5) = %d", d)
+	}
+	if d := DurationOfMinutes(2); d != 2*Minute {
+		t.Errorf("DurationOfMinutes(2) = %d", d)
+	}
+	if m := (90 * Second).Minutes(); m != 1.5 {
+		t.Errorf("Minutes() = %v", m)
+	}
+	if h := Time(3*Hour + Minute).HourOfDay(); h != 3 {
+		t.Errorf("HourOfDay = %d", h)
+	}
+	if h := Time(25 * Hour).HourOfDay(); h != 1 {
+		t.Errorf("HourOfDay wraps to %d, want 1", h)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSubSeedIndependence(t *testing.T) {
+	s1 := SubSeed(1, "arrivals")
+	s2 := SubSeed(1, "noise")
+	s3 := SubSeed(2, "arrivals")
+	if s1 == s2 || s1 == s3 {
+		t.Errorf("SubSeed collisions: %x %x %x", s1, s2, s3)
+	}
+	if s1 != SubSeed(1, "arrivals") {
+		t.Error("SubSeed not deterministic")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(7)
+	for _, mean := range []float64{0.5, 3, 12, 200} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += Poisson(r, mean)
+		}
+		got := float64(sum) / float64(n)
+		if got < mean*0.95-0.05 || got > mean*1.05+0.05 {
+			t.Errorf("Poisson(%v) sample mean %v", mean, got)
+		}
+	}
+	if Poisson(r, 0) != 0 || Poisson(r, -1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestLogNormalAndExponentialMeans(t *testing.T) {
+	r := NewRNG(11)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exponential(r, 4.0)
+	}
+	if m := sum / float64(n); m < 3.9 || m > 4.1 {
+		t.Errorf("Exponential mean %v, want ≈4", m)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += LogNormal(r, 0, 0.25) // mean = exp(0.03125) ≈ 1.0317
+	}
+	if m := sum / float64(n); m < 1.02 || m > 1.05 {
+		t.Errorf("LogNormal mean %v, want ≈1.032", m)
+	}
+}
+
+// Property: RunUntil never moves the clock backwards and never executes an
+// event beyond the horizon.
+func TestRunUntilMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16, horizon uint16) bool {
+		e := NewEngine()
+		ok := true
+		for _, d := range delays {
+			at := Time(d) * Time(Second)
+			e.At(at, "evt", func(now Time) {
+				if now != at || now > Time(horizon)*Time(Second)+Time(horizon)*Time(Second) {
+					ok = false
+				}
+			})
+		}
+		end := Time(horizon) * Time(Second)
+		prev := e.Now()
+		if err := e.RunUntil(end); err != nil {
+			return false
+		}
+		if e.Now() < prev || e.Now() != end && e.Pending() == 0 {
+			// Clock must land exactly on the horizon when it did not stop.
+			return e.Now() == end
+		}
+		return ok && e.Now() == end
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

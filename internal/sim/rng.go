@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// splitmix64 is the SplitMix64 mixing function. It is used both as a
+// rand.Source64 and to derive independent stream seeds from a master seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// smSource is a SplitMix64-based rand.Source64: tiny state, excellent
+// statistical quality for simulation purposes, and trivially seedable.
+type smSource struct{ state uint64 }
+
+func (s *smSource) Seed(seed int64) { s.state = uint64(seed) }
+func (s *smSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+func (s *smSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// NewRNG returns a deterministic *rand.Rand seeded with seed.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(&smSource{state: splitmix64(seed)})
+}
+
+// SubSeed derives an independent stream seed from a master seed and a label.
+// Components that need their own randomness (per-row arrival processes,
+// per-server noise, the duration sampler, …) each call SubSeed with a unique
+// label so that adding a component never perturbs the streams of the others.
+func SubSeed(master uint64, label string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return splitmix64(master ^ h.Sum64())
+}
+
+// SubRNG is shorthand for NewRNG(SubSeed(master, label)).
+func SubRNG(master uint64, label string) *rand.Rand {
+	return NewRNG(SubSeed(master, label))
+}
+
+// LogNormal draws from a lognormal distribution with the given parameters of
+// the underlying normal (not the mean/stddev of the lognormal itself).
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Poisson draws from a Poisson distribution with the given mean using
+// inversion for small means and a normal approximation for large ones.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		// Normal approximation with continuity correction; exact Poisson
+		// sampling at these means is unnecessary for workload generation.
+		n := int(r.NormFloat64()*math.Sqrt(mean) + mean + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogHistogram accumulates positive values into logarithmically spaced
+// buckets and answers quantile queries with bounded relative error. The
+// interactive-service substrate records millions of request latencies into
+// one; storing them individually for a p99.9 query would dominate memory.
+type LogHistogram struct {
+	min, max float64
+	logMin   float64
+	scale    float64 // buckets per unit of ln(v)
+	counts   []int64
+	n        int64
+	under    int64 // values below min (counted at min)
+	over     int64 // values above max (counted at max)
+}
+
+// NewLogHistogram covers [min, max] with the given number of buckets;
+// min must be positive and less than max.
+func NewLogHistogram(min, max float64, buckets int) (*LogHistogram, error) {
+	if min <= 0 || max <= min {
+		return nil, fmt.Errorf("stats: log histogram range [%v, %v] invalid", min, max)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("stats: log histogram needs at least one bucket, got %d", buckets)
+	}
+	return &LogHistogram{
+		min:    min,
+		max:    max,
+		logMin: math.Log(min),
+		scale:  float64(buckets) / (math.Log(max) - math.Log(min)),
+		counts: make([]int64, buckets),
+	}, nil
+}
+
+// Add records one value. Non-positive and NaN values are ignored; values
+// outside the range clamp to the edge buckets.
+func (h *LogHistogram) Add(v float64) {
+	if math.IsNaN(v) || v <= 0 {
+		return
+	}
+	h.n++
+	switch {
+	case v < h.min:
+		h.under++
+	case v >= h.max:
+		h.over++
+	default:
+		i := int((math.Log(v) - h.logMin) * h.scale)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *LogHistogram) Count() int64 { return h.n }
+
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]): the
+// geometric midpoint of the bucket containing the target rank.
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.n-1))
+	if rank < h.under {
+		return h.min
+	}
+	cum := h.under
+	for i, c := range h.counts {
+		cum += c
+		if rank < cum {
+			lo := h.logMin + float64(i)/h.scale
+			hi := h.logMin + float64(i+1)/h.scale
+			return math.Exp((lo + hi) / 2)
+		}
+	}
+	return h.max
+}
+
+// Mean returns the approximate mean using bucket midpoints.
+func (h *LogHistogram) Mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	sum := float64(h.under) * h.min
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.logMin + float64(i)/h.scale
+		hi := h.logMin + float64(i+1)/h.scale
+		sum += float64(c) * math.Exp((lo+hi)/2)
+	}
+	sum += float64(h.over) * h.max
+	return sum / float64(h.n)
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AR1 is a first-order autoregressive Gaussian process:
+//
+//	x[t] = phi·x[t−1] + e[t],  e ~ N(0, sigma²·(1−phi²))
+//
+// scaled so its stationary standard deviation is sigma. Both the power model
+// (measurement noise) and the workload model (minute-scale load wobble) use
+// AR(1) processes because the paper's 1-minute power deltas are small and
+// positively correlated (Fig 9).
+type AR1 struct {
+	Phi   float64
+	Sigma float64
+	x     float64
+	rng   *rand.Rand
+}
+
+// NewAR1 returns an AR(1) process with autocorrelation phi in (−1, 1) and
+// stationary standard deviation sigma, started at its stationary mean 0.
+func NewAR1(phi, sigma float64, rng *rand.Rand) *AR1 {
+	if phi <= -1 || phi >= 1 {
+		panic("stats: AR1 phi must be in (-1, 1)")
+	}
+	return &AR1{Phi: phi, Sigma: sigma, rng: rng}
+}
+
+// Next advances the process one step and returns the new value.
+func (a *AR1) Next() float64 {
+	innov := a.Sigma * math.Sqrt(1-a.Phi*a.Phi) * a.rng.NormFloat64()
+	a.x = a.Phi*a.x + innov
+	return a.x
+}
+
+// Value returns the current value without advancing.
+func (a *AR1) Value() float64 { return a.x }

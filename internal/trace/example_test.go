@@ -1,0 +1,38 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// Inverting a power trace into an arrival-rate schedule: the replay side of
+// trace-driven experiments.
+func ExampleRateSchedule() {
+	spec := cluster.DefaultSpec() // 250 W rated, 150 W idle, 16 containers
+	// Two minutes of recorded power for a 100-server group.
+	powers := []float64{17000, 19000}
+	rates, err := trace.RateSchedule(powers, 100, spec, 8.5, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f %.1f jobs/min\n", rates[0], rates[1])
+	// Output: 37.6 75.3 jobs/min
+}
+
+// CSV round trip of a two-series trace.
+func ExampleReadCSV() {
+	csv := "time_ms,row/0,row/1\n0,100,200\n60000,110,190\n120000,120,180\n"
+	tr, err := trace.ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		panic(err)
+	}
+	s, err := tr.SeriesByName("row/1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(tr.Names), tr.Interval, s[2])
+	// Output: 2 1m 180
+}

@@ -1,0 +1,93 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Client queries a remote DB served by Handler — the consumer side of the
+// paper's RESTful monitor API (cmd/ampere-ctl uses it; so can any external
+// tooling).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string, query url.Values, out any) error {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return fmt.Errorf("tsdb client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("tsdb client: GET %s: %s: %s", path, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("tsdb client: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Names lists the remote series.
+func (c *Client) Names() ([]string, error) {
+	var names []string
+	if err := c.get("/series", nil, &names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// Query fetches the named series in [from, to].
+func (c *Client) Query(name string, from, to sim.Time) ([]Point, error) {
+	q := url.Values{"name": {name}}
+	q.Set("from", strconv.FormatInt(int64(from), 10))
+	q.Set("to", strconv.FormatInt(int64(to), 10))
+	var pts []Point
+	if err := c.get("/query", q, &pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// QueryAll fetches the named series' full retained range.
+func (c *Client) QueryAll(name string) ([]Point, error) {
+	var pts []Point
+	if err := c.get("/query", url.Values{"name": {name}}, &pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// Latest fetches the most recent point of the named series.
+func (c *Client) Latest(name string) (Point, error) {
+	var p Point
+	if err := c.get("/latest", url.Values{"name": {name}}, &p); err != nil {
+		return Point{}, err
+	}
+	return p, nil
+}

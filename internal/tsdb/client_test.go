@@ -1,0 +1,64 @@
+package tsdb
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestClientRoundTrip(t *testing.T) {
+	db := New(0)
+	for m := 0; m < 10; m++ {
+		if err := db.Append("row/0", sim.Time(m)*sim.Time(sim.Minute), float64(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Append("dc", 0, 99)
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "dc" {
+		t.Errorf("Names = %v", names)
+	}
+
+	pts, err := c.Query("row/0", sim.Time(2*sim.Minute), sim.Time(4*sim.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0].V != 2 {
+		t.Errorf("Query = %v", pts)
+	}
+
+	all, err := c.QueryAll("row/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Errorf("QueryAll returned %d points", len(all))
+	}
+
+	p, err := c.Latest("row/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.V != 9 {
+		t.Errorf("Latest = %+v", p)
+	}
+
+	if _, err := c.Latest("missing"); err == nil {
+		t.Error("missing series did not error")
+	}
+}
+
+func TestClientConnectionError(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens there
+	if _, err := c.Names(); err == nil {
+		t.Error("unreachable server did not error")
+	}
+}

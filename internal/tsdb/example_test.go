@@ -1,0 +1,29 @@
+package tsdb_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+// Append-and-query round trip at the monitor's 1-minute cadence.
+func ExampleDB() {
+	db := tsdb.New(0)
+	for m := 0; m < 5; m++ {
+		if err := db.Append("row/0", sim.Time(m)*sim.Time(sim.Minute), 30000+float64(m)*100); err != nil {
+			panic(err)
+		}
+	}
+	pts := db.Query("row/0", sim.Time(sim.Minute), sim.Time(3*sim.Minute))
+	for _, p := range pts {
+		fmt.Printf("%v %.0f\n", p.T, p.V)
+	}
+	latest, _ := db.Latest("row/0")
+	fmt.Printf("latest %.0f\n", latest.V)
+	// Output:
+	// d0 00:01:00.000 30100
+	// d0 00:02:00.000 30200
+	// d0 00:03:00.000 30300
+	// latest 30400
+}

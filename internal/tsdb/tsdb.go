@@ -1,0 +1,112 @@
+// Package tsdb is the in-memory time-series database behind the power
+// monitor. The paper stores 1-minute power samples in MySQL and exposes a
+// RESTful query API; this package provides the same contract — append-only
+// per-series storage with retention, range queries, and an HTTP API — so the
+// monitor and controller stay stateless, as §3.3 requires.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Point is one sample of one series.
+type Point struct {
+	T sim.Time `json:"t"`
+	V float64  `json:"v"`
+}
+
+// DB stores named series of time-ordered points. It is safe for concurrent
+// use: the simulation appends while HTTP queries read.
+type DB struct {
+	mu        sync.RWMutex
+	series    map[string][]Point
+	retention int // max points kept per series; 0 = unlimited
+}
+
+// New returns a DB that retains at most retentionPoints per series
+// (0 = unlimited).
+func New(retentionPoints int) *DB {
+	return &DB{series: make(map[string][]Point), retention: retentionPoints}
+}
+
+// Append adds a sample to the named series. Timestamps must be
+// non-decreasing per series; out-of-order appends return an error (the
+// monitor never produces them, so an error indicates a wiring bug).
+func (db *DB) Append(name string, t sim.Time, v float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.series[name]
+	if n := len(pts); n > 0 && pts[n-1].T > t {
+		return fmt.Errorf("tsdb: out-of-order append to %q: %v after %v", name, t, pts[n-1].T)
+	}
+	pts = append(pts, Point{T: t, V: v})
+	if db.retention > 0 && len(pts) > db.retention {
+		// Drop the oldest points; copy to release the backing array
+		// occasionally rather than on every append.
+		if len(pts) > db.retention*2 {
+			pts = append([]Point(nil), pts[len(pts)-db.retention:]...)
+		} else {
+			pts = pts[len(pts)-db.retention:]
+		}
+	}
+	db.series[name] = pts
+	return nil
+}
+
+// Query returns the points of the named series with from ≤ T ≤ to, in time
+// order. The result is a copy.
+func (db *DB) Query(name string, from, to sim.Time) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[name]
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].T > to })
+	if lo >= hi {
+		return nil
+	}
+	return append([]Point(nil), pts[lo:hi]...)
+}
+
+// Values is Query returning only the sample values.
+func (db *DB) Values(name string, from, to sim.Time) []float64 {
+	pts := db.Query(name, from, to)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Latest returns the most recent point of the named series.
+func (db *DB) Latest(name string) (Point, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[name]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Len returns the number of retained points in the named series.
+func (db *DB) Len(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series[name])
+}
+
+// Names returns all series names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.series))
+	for n := range db.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

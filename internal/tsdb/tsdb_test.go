@@ -1,0 +1,247 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAppendAndQuery(t *testing.T) {
+	db := New(0)
+	for i := 0; i < 10; i++ {
+		if err := db.Append("row/0", sim.Time(i)*sim.Time(sim.Minute), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := db.Query("row/0", sim.Time(2*sim.Minute), sim.Time(5*sim.Minute))
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	if pts[0].V != 2 || pts[3].V != 5 {
+		t.Errorf("range query wrong: %+v", pts)
+	}
+	if got := db.Len("row/0"); got != 10 {
+		t.Errorf("Len = %d", got)
+	}
+	if vs := db.Values("row/0", 0, sim.Time(sim.Hour)); len(vs) != 10 || vs[9] != 9 {
+		t.Errorf("Values = %v", vs)
+	}
+	if pts := db.Query("missing", 0, sim.Time(sim.Hour)); pts != nil {
+		t.Errorf("query of missing series = %v", pts)
+	}
+}
+
+func TestOutOfOrderAppendRejected(t *testing.T) {
+	db := New(0)
+	if err := db.Append("s", sim.Time(sim.Minute), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append("s", 0, 2); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	// Equal timestamps are allowed (restart re-sampling the same minute).
+	if err := db.Append("s", sim.Time(sim.Minute), 3); err != nil {
+		t.Errorf("equal-timestamp append rejected: %v", err)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	db := New(0)
+	if _, ok := db.Latest("s"); ok {
+		t.Error("Latest on empty series reported ok")
+	}
+	db.Append("s", 1, 10)
+	db.Append("s", 2, 20)
+	p, ok := db.Latest("s")
+	if !ok || p.V != 20 || p.T != 2 {
+		t.Errorf("Latest = %+v, %v", p, ok)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	db := New(5)
+	for i := 0; i < 100; i++ {
+		db.Append("s", sim.Time(i), float64(i))
+	}
+	if got := db.Len("s"); got != 5 {
+		t.Fatalf("retained %d points, want 5", got)
+	}
+	pts := db.Query("s", 0, sim.Time(1000))
+	if pts[0].V != 95 || pts[4].V != 99 {
+		t.Errorf("retained wrong window: %+v", pts)
+	}
+}
+
+func TestNames(t *testing.T) {
+	db := New(0)
+	db.Append("b", 0, 1)
+	db.Append("a", 0, 1)
+	db.Append("c", 0, 1)
+	names := db.Names()
+	if !sort.StringsAreSorted(names) || len(names) != 3 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			name := []string{"a", "b", "c", "d"}[w]
+			for i := 0; i < 1000; i++ {
+				_ = db.Append(name, sim.Time(i), float64(i))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				db.Query("a", 0, sim.Time(i))
+				db.Latest("b")
+				db.Names()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHTTPAPI(t *testing.T) {
+	db := New(0)
+	for i := 0; i < 5; i++ {
+		db.Append("row/0", sim.Time(i)*sim.Time(sim.Minute), float64(100+i))
+	}
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+
+	// /series
+	var names []string
+	getJSON(t, srv.URL+"/series", &names)
+	if len(names) != 1 || names[0] != "row/0" {
+		t.Errorf("/series = %v", names)
+	}
+
+	// /query full range
+	var pts []Point
+	getJSON(t, srv.URL+"/query?name=row/0", &pts)
+	if len(pts) != 5 {
+		t.Errorf("/query returned %d points", len(pts))
+	}
+
+	// /query sub-range
+	pts = nil
+	getJSON(t, srv.URL+"/query?name=row/0&from=60000&to=120000", &pts)
+	if len(pts) != 2 || pts[0].V != 101 {
+		t.Errorf("/query range = %+v", pts)
+	}
+
+	// /latest
+	var p Point
+	getJSON(t, srv.URL+"/latest?name=row/0", &p)
+	if p.V != 104 {
+		t.Errorf("/latest = %+v", p)
+	}
+
+	// error cases
+	for _, url := range []string{
+		srv.URL + "/query",
+		srv.URL + "/query?name=x&from=zzz",
+		srv.URL + "/query?name=x&to=zzz",
+		srv.URL + "/latest",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", url, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/latest?name=missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing series status %d, want 404", resp.StatusCode)
+	}
+	// Empty query result is [] not null.
+	respQ, err := http.Get(srv.URL + "/query?name=missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respQ.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(respQ.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) == "null" {
+		t.Error("empty query encoded as null, want []")
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Query(name, from, to) equals filtering a reference slice, for
+// monotone appends under any retention setting.
+func TestQueryMatchesReferenceProperty(t *testing.T) {
+	f := func(valsRaw []uint8, retention uint8, fromRaw, toRaw uint8) bool {
+		db := New(int(retention % 16))
+		var ref []Point
+		tm := sim.Time(0)
+		for i, v := range valsRaw {
+			tm += sim.Time(v%7) * sim.Time(sim.Second)
+			p := Point{T: tm, V: float64(v) + float64(i)/1000}
+			if db.Append("s", p.T, p.V) != nil {
+				return false
+			}
+			ref = append(ref, p)
+		}
+		if r := int(retention % 16); r > 0 && len(ref) > r {
+			ref = ref[len(ref)-r:]
+		}
+		from := sim.Time(fromRaw) * sim.Time(sim.Second)
+		to := sim.Time(toRaw) * sim.Time(sim.Second)
+		got := db.Query("s", from, to)
+		var want []Point
+		for _, p := range ref {
+			if p.T >= from && p.T <= to {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// A calibrated generator: choose the arrival rate that steers servers to a
+// target power level, then drive a sink with it.
+func ExampleRateForPowerFraction() {
+	// 150 W idle, 250 W rated, 16 containers, 8.5-minute jobs of one
+	// container each: what rate holds a server at 75 % of rated power?
+	perServer := workload.RateForPowerFraction(0.75, 150, 250, 16, 8.5, 1.0)
+	fmt.Printf("%.2f jobs/min per server\n", perServer)
+
+	eng := sim.NewEngine()
+	count := 0
+	gen, err := workload.NewGenerator(eng, 1,
+		[]workload.Product{workload.DefaultProduct("batch", perServer*100)},
+		workload.DefaultDurations(),
+		func(j *workload.Job) { count++ })
+	if err != nil {
+		panic(err)
+	}
+	gen.Start()
+	if err := eng.RunUntil(sim.Time(sim.Hour)); err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs in an hour:", count > 3000 && count < 5500)
+	// Output:
+	// 0.71 jobs/min per server
+	// jobs in an hour: true
+}

@@ -1,0 +1,330 @@
+// Package workload generates the synthetic production workload the paper's
+// evaluation runs against: batch jobs whose duration distribution matches
+// Fig 7 (mean ≈ 9 min, 40 % finish within 2 min), arriving at 400–600 jobs
+// per minute with the diurnal swings of Fig 8, the small-but-spiky 1-minute
+// power deltas of Fig 9, and the weakly correlated per-row product mixes of
+// Fig 2.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Kind distinguishes throughput-oriented batch jobs from latency-critical
+// service instances (the Redis-like workload of §4.3).
+type Kind int
+
+const (
+	// Batch jobs (e.g. Map-Reduce tasks) run to completion and are counted
+	// toward throughput.
+	Batch Kind = iota
+	// Service jobs are long-running latency-critical instances; they are
+	// pinned by the service substrate and never produced by the Generator.
+	Service
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Batch:
+		return "batch"
+	case Service:
+		return "service"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Job is one unit of schedulable work.
+type Job struct {
+	ID      int64
+	Kind    Kind
+	Product int // index into the generator's product list
+	Arrival sim.Time
+	// Work is the full-speed execution time. On a DVFS-capped server running
+	// at frequency factor f the job progresses at rate f, so wall-clock
+	// duration stretches to Work/f.
+	Work sim.Duration
+	// CPU is the job's CPU demand in container units; it drives server
+	// utilization and hence power.
+	CPU float64
+	// Containers is the number of scheduler containers the job occupies.
+	Containers int
+}
+
+// DurationDist is the truncated lognormal batch-job duration distribution.
+type DurationDist struct {
+	// Mu and Sigma parameterize the underlying normal of log-duration in
+	// minutes.
+	Mu, Sigma float64
+	// Min and Max clamp sampled durations.
+	Min, Max sim.Duration
+}
+
+// DefaultDurations matches the paper's Fig 7: lognormal with mean 9 minutes
+// and P(duration ≤ 2 min) = 0.40.
+func DefaultDurations() DurationDist {
+	return DurationDist{Mu: 1.073, Sigma: 1.5, Min: 5 * sim.Second, Max: 100 * sim.Minute}
+}
+
+// Sample draws one job duration.
+func (d DurationDist) Sample(r *rand.Rand) sim.Duration {
+	minutes := math.Exp(r.NormFloat64()*d.Sigma + d.Mu)
+	dur := sim.DurationOfMinutes(minutes)
+	if dur < d.Min {
+		dur = d.Min
+	}
+	if d.Max > 0 && dur > d.Max {
+		dur = d.Max
+	}
+	return dur
+}
+
+// Mean returns the analytic mean of the untruncated lognormal, in minutes.
+// Truncation at the default Max shaves only ≈ 5 % off; tests use wide bands.
+func (d DurationDist) Mean() float64 {
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+// Product describes one application's load on the cluster. Distinct rows run
+// distinct product mixes in the paper, producing spatial power imbalance; we
+// reproduce that by giving every product its own row affinity, diurnal phase
+// and noise stream.
+type Product struct {
+	Name string
+	// RowWeights is the placement affinity over rows; the scheduler samples
+	// a row proportional to weight × available capacity. Length must equal
+	// the cluster's row count; an empty slice means uniform.
+	RowWeights []float64
+	// BaseJobsPerMinute is the mean arrival rate before modulation.
+	BaseJobsPerMinute float64
+	// DiurnalAmplitude is the relative size of the load sinusoid (0 = flat).
+	DiurnalAmplitude float64
+	// PeakHour is the hour of day at which the sinusoid peaks.
+	PeakHour float64
+	// PeriodHours is the sinusoid period; 0 means the usual 24 h day.
+	// Shorter periods model workloads that ramp up and down within hours
+	// (the §4.4 four-hour window).
+	PeriodHours float64
+	// Schedule, when non-empty, replaces the Base×diurnal rate with an
+	// explicit per-minute rate series (jobs per minute), cycled when the
+	// simulation runs longer than the schedule. Wobble and surges still
+	// modulate on top unless zeroed. Trace replay (internal/trace) builds
+	// these from recorded power traces.
+	Schedule []float64
+	// ScheduleStart anchors Schedule[0] in virtual time; minutes before it
+	// use Schedule[0]. Defaults to time zero.
+	ScheduleStart sim.Time
+	// NoisePhi and NoiseSigma parameterize multiplicative AR(1) minute-scale
+	// rate wobble.
+	NoisePhi, NoiseSigma float64
+	// SurgeProb is the per-minute probability that a load surge starts;
+	// surges multiply the rate by [SurgeMinMult, SurgeMaxMult] for
+	// [SurgeMinMinutes, SurgeMaxMinutes]. Surges create the rare large
+	// 1-minute power deltas in Fig 9's tail.
+	SurgeProb                        float64
+	SurgeMinMult, SurgeMaxMult       float64
+	SurgeMinMinutes, SurgeMaxMinutes int
+	// MaxContainers > 1 makes a fraction of jobs gang-scheduled: each job
+	// draws its container count uniformly from [1, MaxContainers] and its
+	// CPU demand scales with it. Zero or one keeps the single-container
+	// default. The arrival rate is interpreted in container units, so the
+	// product's aggregate load is independent of this knob.
+	MaxContainers int
+}
+
+// DefaultProduct returns a single product with paper-like variation,
+// uniform row affinity, and the given base rate.
+func DefaultProduct(name string, baseJobsPerMinute float64) Product {
+	return Product{
+		Name:              name,
+		BaseJobsPerMinute: baseJobsPerMinute,
+		DiurnalAmplitude:  0.10,
+		PeakHour:          14,
+		NoisePhi:          0.6,
+		NoiseSigma:        0.06,
+		SurgeProb:         0.004,
+		SurgeMinMult:      1.5,
+		SurgeMaxMult:      3.0,
+		SurgeMinMinutes:   2,
+		SurgeMaxMinutes:   10,
+	}
+}
+
+// Sink receives generated jobs (normally the scheduler's Submit).
+type Sink func(j *Job)
+
+// Generator emits batch jobs minute by minute according to its products'
+// modulated Poisson processes. It is driven entirely by the sim engine.
+type Generator struct {
+	eng      *sim.Engine
+	products []Product
+	dd       DurationDist
+	sink     Sink
+
+	rngs      []*rand.Rand // one per product
+	wobble    []*wobbleState
+	nextID    int64
+	handle    *sim.Handle
+	generated int64
+}
+
+type wobbleState struct {
+	x         float64 // AR(1) state
+	surgeLeft int     // minutes remaining in the active surge
+	surgeMult float64
+}
+
+// NewGenerator builds a generator. sink must be non-nil.
+func NewGenerator(eng *sim.Engine, seed uint64, products []Product, dd DurationDist, sink Sink) (*Generator, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("workload: nil sink")
+	}
+	if len(products) == 0 {
+		return nil, fmt.Errorf("workload: no products")
+	}
+	for i, p := range products {
+		if p.BaseJobsPerMinute < 0 {
+			return nil, fmt.Errorf("workload: product %d (%s) has negative rate", i, p.Name)
+		}
+	}
+	g := &Generator{eng: eng, products: products, dd: dd, sink: sink}
+	g.rngs = make([]*rand.Rand, len(products))
+	g.wobble = make([]*wobbleState, len(products))
+	for i := range products {
+		g.rngs[i] = sim.SubRNG(seed, fmt.Sprintf("product-%d-%s", i, products[i].Name))
+		g.wobble[i] = &wobbleState{surgeMult: 1}
+	}
+	return g, nil
+}
+
+// Start begins emitting jobs every minute, beginning immediately.
+func (g *Generator) Start() {
+	if g.handle != nil {
+		return
+	}
+	g.handle = g.eng.Every(g.eng.Now(), sim.Minute, "workload-tick", g.tick)
+}
+
+// Stop halts emission. Already-scheduled arrivals within the current minute
+// still fire.
+func (g *Generator) Stop() {
+	if g.handle != nil {
+		g.handle.Cancel()
+		g.handle = nil
+	}
+}
+
+// Generated returns the number of jobs emitted so far.
+func (g *Generator) Generated() int64 { return g.generated }
+
+// RateAt returns product i's modulated mean rate for the minute at t,
+// excluding Poisson sampling noise. Exposed for tests and calibration.
+func (g *Generator) RateAt(i int, t sim.Time) float64 {
+	p := g.products[i]
+	w := g.wobble[i]
+	base := p.BaseJobsPerMinute * diurnal(p, t)
+	if len(p.Schedule) > 0 {
+		idx := int(t.Minute() - p.ScheduleStart.Minute())
+		if idx < 0 {
+			idx = 0
+		}
+		base = p.Schedule[idx%len(p.Schedule)]
+	}
+	rate := base * (1 + w.x) * w.surgeMult
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+func diurnal(p Product, t sim.Time) float64 {
+	if p.DiurnalAmplitude == 0 {
+		return 1
+	}
+	period := p.PeriodHours
+	if period <= 0 {
+		period = 24
+	}
+	h := float64(t) / float64(sim.Hour)
+	return 1 + p.DiurnalAmplitude*math.Cos(2*math.Pi*(h-p.PeakHour)/period)
+}
+
+func (g *Generator) tick(now sim.Time) {
+	for i := range g.products {
+		p := g.products[i]
+		r := g.rngs[i]
+		w := g.wobble[i]
+
+		// Advance the AR(1) wobble.
+		if p.NoiseSigma > 0 {
+			innov := p.NoiseSigma * math.Sqrt(1-p.NoisePhi*p.NoisePhi) * r.NormFloat64()
+			w.x = p.NoisePhi*w.x + innov
+		}
+		// Advance / start surges.
+		if w.surgeLeft > 0 {
+			w.surgeLeft--
+			if w.surgeLeft == 0 {
+				w.surgeMult = 1
+			}
+		} else if p.SurgeProb > 0 && r.Float64() < p.SurgeProb {
+			w.surgeMult = p.SurgeMinMult + r.Float64()*(p.SurgeMaxMult-p.SurgeMinMult)
+			span := p.SurgeMaxMinutes - p.SurgeMinMinutes
+			w.surgeLeft = p.SurgeMinMinutes
+			if span > 0 {
+				w.surgeLeft += r.Intn(span + 1)
+			}
+		}
+
+		// The rate counts container units; gang jobs consume several at
+		// once, so the emitted job count shrinks accordingly.
+		budgetUnits := sim.Poisson(r, g.RateAt(i, now))
+		for units := 0; units < budgetUnits; {
+			containers := 1
+			if p.MaxContainers > 1 {
+				containers = 1 + r.Intn(p.MaxContainers)
+				if left := budgetUnits - units; containers > left {
+					containers = left
+				}
+			}
+			job := &Job{
+				ID:         g.nextID,
+				Kind:       Batch,
+				Product:    i,
+				Work:       g.dd.Sample(r),
+				CPU:        (0.5 + r.Float64()) * float64(containers), // U(0.5, 1.5) per container
+				Containers: containers,
+			}
+			units += containers
+			g.nextID++
+			g.generated++
+			at := now.Add(sim.Duration(r.Int63n(int64(sim.Minute))))
+			job.Arrival = at
+			jb := job
+			g.eng.At(at, "job-arrival", func(sim.Time) { g.sink(jb) })
+		}
+	}
+}
+
+// RateForPowerFraction computes the per-server arrival rate (jobs per minute
+// per server) that steers a server population to the given mean power draw
+// as a fraction of rated power, using Little's law:
+//
+//	concurrent/server = rate · meanDuration
+//	utilization       = concurrent · meanCPU / containers
+//	powerFrac         = (idle + (rated−idle)·utilization) / rated
+//
+// Experiments use it to set "light" and "heavy" workloads by target power.
+func RateForPowerFraction(powerFrac, idleW, ratedW float64, containers int, meanDurMinutes, meanCPU float64) float64 {
+	idleFrac := idleW / ratedW
+	if powerFrac < idleFrac {
+		return 0
+	}
+	util := (powerFrac - idleFrac) / (1 - idleFrac)
+	concurrent := util * float64(containers) / meanCPU
+	return concurrent / meanDurMinutes
+}
