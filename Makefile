@@ -1,0 +1,27 @@
+# Tier-1 is the merge gate: everything must build, vet clean, and pass the
+# full suite under the race detector.
+.PHONY: tier1 build vet test race fuzz chaos
+
+tier1: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Short live-fuzz pass over the two fuzz targets (the committed seed corpus
+# already replays in `make test`).
+fuzz:
+	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
+	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
+
+# Fault-injection drill: naive vs resilient controller under the same storm.
+chaos:
+	go run ./cmd/ampere-exp -exp chaos -quick

@@ -310,6 +310,21 @@ func BenchmarkFutureWorkRowSpread(b *testing.B) {
 	}
 }
 
+func BenchmarkChaosStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultChaos()
+		cfg.RowServers = 80
+		cfg.Pretrain, cfg.Measure = 6*sim.Hour, 12*sim.Hour
+		res, err := experiment.RunChaos(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Naive.Violations), "violations-naive")
+		b.ReportMetric(float64(res.Resilient.Violations), "violations-resilient")
+		b.ReportMetric(res.Resilient.Stats.MTTR().Minutes(), "mttr-min")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Microbenchmarks of the hot substrate paths.
 // ---------------------------------------------------------------------------

@@ -48,10 +48,11 @@ func main() {
 		"table3":    runTable3,
 		"spread":    runSpread,
 		"outage":    runOutage,
+		"chaos":     runChaos,
 		"ablations": runAblations,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
-		"table2", "fig11", "fig12", "table3", "spread", "outage", "ablations"}
+		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations"}
 
 	var ids []string
 	if *exp == "all" {
@@ -289,6 +290,21 @@ func runOutage(quick bool, seed uint64, outDir string) error {
 		return err
 	}
 	experiment.FormatOutage(os.Stdout, rows)
+	return nil
+}
+
+func runChaos(quick bool, seed uint64, outDir string) error {
+	cfg := experiment.DefaultChaos()
+	if quick {
+		cfg.RowServers = 80
+		cfg.Pretrain, cfg.Measure = 6*sim.Hour, 12*sim.Hour
+	}
+	cfg.Seed = pick(seed, cfg.Seed)
+	res, err := experiment.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatChaos(os.Stdout, res)
 	return nil
 }
 

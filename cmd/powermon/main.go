@@ -9,6 +9,8 @@
 //	curl 'http://localhost:8080/query?name=row/0&from=0'
 //	curl 'http://localhost:8080/latest?name=dc'
 //	curl 'http://localhost:8080/status'
+//	curl 'http://localhost:8080/domains'
+//	curl 'http://localhost:8080/healthz'
 package main
 
 import (
@@ -134,6 +136,15 @@ func run(addr string, tick time.Duration, rows, rowServers int, target, ro float
 
 	mux := http.NewServeMux()
 	mux.Handle("/", rig.DB.Handler())
+	if controller != nil {
+		// The controller's operator API (per-domain status and health) is
+		// internally locked, so it serves live alongside the running
+		// simulation goroutine.
+		h := controller.Handler()
+		mux.Handle("/domains", h)
+		mux.Handle("/domains/", h)
+		mux.Handle("/healthz", h)
+	}
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
 		defer st.mu.Unlock()

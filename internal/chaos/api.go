@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// API wraps a core.FreezeAPI with injected failures and latency.
+type API struct {
+	in    *Injector
+	inner core.FreezeAPI
+}
+
+// WrapAPI interposes the injector on a freeze API.
+func (in *Injector) WrapAPI(api core.FreezeAPI) *API {
+	return &API{in: in, inner: api}
+}
+
+// Freeze implements core.FreezeAPI.
+func (a *API) Freeze(id cluster.ServerID) error {
+	if err := a.inject("freeze", id); err != nil {
+		return err
+	}
+	return a.inner.Freeze(id)
+}
+
+// Unfreeze implements core.FreezeAPI.
+func (a *API) Unfreeze(id cluster.ServerID) error {
+	if err := a.inject("unfreeze", id); err != nil {
+		return err
+	}
+	return a.inner.Unfreeze(id)
+}
+
+// inject applies the API faults active right now; a non-nil error means the
+// call never reaches the scheduler.
+func (a *API) inject(op string, id cluster.ServerID) error {
+	now := a.in.eng.Now()
+	if f, on := a.in.anyActive(APILatency, now); on {
+		a.in.stats.APILatency += f.Latency
+		if f.Timeout > 0 && f.Latency >= f.Timeout {
+			a.in.stats.APIFailures++
+			return fmt.Errorf("chaos: %s %d timed out after %v at %v", op, id, f.Timeout, now)
+		}
+	}
+	if _, on := a.in.anyActive(APIPersistent, now); on {
+		a.in.stats.APIFailures++
+		return fmt.Errorf("chaos: scheduler down, %s %d refused at %v", op, id, now)
+	}
+	for _, f := range a.in.faultsOf(APITransient, now) {
+		if a.in.decide(APITransient, now, uint64(id)+1, f.Rate) {
+			a.in.stats.APIFailures++
+			return fmt.Errorf("chaos: transient %s %d failure at %v", op, id, now)
+		}
+	}
+	return nil
+}
+
+// Store wraps a monitor.Store-compatible sink with write rejection. It is
+// declared against the minimal Append contract so it can wrap tsdb.DB
+// directly.
+type Store struct {
+	in    *Injector
+	inner interface {
+		Append(name string, t sim.Time, v float64) error
+	}
+}
+
+// WrapStore interposes the injector on a TSDB write path.
+func (in *Injector) WrapStore(s interface {
+	Append(name string, t sim.Time, v float64) error
+}) *Store {
+	return &Store{in: in, inner: s}
+}
+
+// Append implements monitor.Store with StoreReject faults applied.
+func (s *Store) Append(name string, t sim.Time, v float64) error {
+	now := s.in.eng.Now()
+	for _, f := range s.in.faultsOf(StoreReject, now) {
+		if f.Rate == 0 || s.in.decide(StoreReject, now, sim.SubSeed(0, name), f.Rate) {
+			s.in.stats.StoreRejects++
+			return fmt.Errorf("chaos: tsdb write %q rejected at %v", name, now)
+		}
+	}
+	return s.inner.Append(name, t, v)
+}

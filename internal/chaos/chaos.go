@@ -1,0 +1,209 @@
+// Package chaos is a deterministic fault injector for the Ampere control
+// plane. It wraps the controller's two dependency interfaces
+// (core.PowerReader, core.FreezeAPI) and the monitor's TSDB write path
+// (monitor.Store) with declarative fault plans: stale and corrupt power
+// readings, whole-domain monitor blackouts, transient and persistent
+// scheduler API failures with injected latency, TSDB write rejection, and
+// scheduled controller crash/restarts.
+//
+// Determinism is the point. Every stochastic decision is a pure function of
+// (plan seed, fault kind, simulated time, per-target salt) — not a drawn
+// RNG stream — so two controllers with different call patterns (a naive one
+// and a resilient one that retries) still experience the *identical* fault
+// schedule. That is what makes regime comparisons under fault storms fair.
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Kind names one class of injected fault.
+type Kind string
+
+// The supported fault kinds.
+const (
+	// ReadBlackout freezes the reader's view: during the window every read
+	// returns the last pre-blackout value with its original (now stale)
+	// timestamp, exactly what a crashed monitor leaves behind.
+	ReadBlackout Kind = "read-blackout"
+	// ReadNaN replaces each group reading with NaN with probability Rate.
+	ReadNaN Kind = "read-nan"
+	// ReadOutlier multiplies each group reading by Factor with probability
+	// Rate — a corrupt IPMI sample.
+	ReadOutlier Kind = "read-outlier"
+	// ReadLag reports sample timestamps Lag older than they are.
+	ReadLag Kind = "read-lag"
+	// APITransient fails each Freeze/Unfreeze call with probability Rate.
+	APITransient Kind = "api-transient"
+	// APIPersistent fails every Freeze/Unfreeze call in the window.
+	APIPersistent Kind = "api-persistent"
+	// APILatency delays each call by Latency; when a positive Timeout is set
+	// and Latency >= Timeout, the call times out (fails without reaching the
+	// scheduler).
+	APILatency Kind = "api-latency"
+	// StoreReject makes the TSDB reject each write with probability Rate
+	// (Rate 0 means every write in the window).
+	StoreReject Kind = "store-reject"
+	// CtlCrash asks the harness to crash the controller at From and restart
+	// it (Resync + Start) at To. The injector cannot kill the controller
+	// itself; Plan.Crashes exposes these windows for the harness to execute.
+	CtlCrash Kind = "ctl-crash"
+)
+
+// Fault is one declarative fault: a kind, an active window, and the kind's
+// parameters.
+type Fault struct {
+	Kind Kind
+	// From and To bound the active window [From, To).
+	From, To sim.Time
+	// Rate is the per-decision probability for stochastic kinds.
+	Rate float64
+	// Factor scales outlier readings (ReadOutlier).
+	Factor float64
+	// Lag ages reported sample timestamps (ReadLag).
+	Lag sim.Duration
+	// Latency is added to each API call (APILatency).
+	Latency sim.Duration
+	// Timeout, when positive, fails APILatency calls whose injected latency
+	// reaches it.
+	Timeout sim.Duration
+}
+
+func (f Fault) active(now sim.Time) bool { return now >= f.From && now < f.To }
+
+// Plan is a seeded schedule of faults.
+type Plan struct {
+	Seed   uint64
+	Faults []Fault
+}
+
+// Validate reports malformed plans: inverted windows, probabilities outside
+// [0, 1], or missing kind parameters.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		switch {
+		case f.To <= f.From:
+			return fmt.Errorf("chaos: fault %d (%s): window [%v, %v) is empty", i, f.Kind, f.From, f.To)
+		case f.Rate < 0 || f.Rate > 1 || math.IsNaN(f.Rate):
+			return fmt.Errorf("chaos: fault %d (%s): rate %v outside [0, 1]", i, f.Kind, f.Rate)
+		}
+		switch f.Kind {
+		case ReadBlackout, APIPersistent, StoreReject, CtlCrash:
+		case ReadNaN, ReadOutlier, APITransient:
+			if f.Rate == 0 {
+				return fmt.Errorf("chaos: fault %d (%s): zero rate never fires", i, f.Kind)
+			}
+			if f.Kind == ReadOutlier && (f.Factor <= 0 || math.IsNaN(f.Factor)) {
+				return fmt.Errorf("chaos: fault %d (%s): factor %v must be positive", i, f.Kind, f.Factor)
+			}
+		case ReadLag:
+			if f.Lag <= 0 {
+				return fmt.Errorf("chaos: fault %d (%s): non-positive lag %v", i, f.Kind, f.Lag)
+			}
+		case APILatency:
+			if f.Latency <= 0 {
+				return fmt.Errorf("chaos: fault %d (%s): non-positive latency %v", i, f.Kind, f.Latency)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// Crashes returns the plan's CtlCrash faults in declaration order, for the
+// harness to schedule.
+func (p Plan) Crashes() []Fault {
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.Kind == CtlCrash {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	// ReadsBlackedOut counts group reads answered from the frozen
+	// pre-blackout snapshot.
+	ReadsBlackedOut int64
+	// ReadsNaN and ReadsOutlier count corrupted group readings served.
+	ReadsNaN     int64
+	ReadsOutlier int64
+	// ReadsLagged counts group reads whose timestamp was aged.
+	ReadsLagged int64
+	// APIFailures counts Freeze/Unfreeze calls failed by injection.
+	APIFailures int64
+	// APILatency is the total latency injected into API calls.
+	APILatency sim.Duration
+	// StoreRejects counts TSDB writes rejected by injection.
+	StoreRejects int64
+}
+
+// Injector owns a plan and hands out faulty wrappers for the control
+// plane's dependencies. All wrappers share one Stats.
+type Injector struct {
+	eng   *sim.Engine
+	plan  Plan
+	stats Stats
+}
+
+// New builds an injector for a validated plan.
+func New(eng *sim.Engine, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{eng: eng, plan: plan}, nil
+}
+
+// Plan returns the injector's fault plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// decide is the deterministic coin: true with probability rate, as a pure
+// function of (seed, kind, now, salt). Callers that would flip the same
+// coin at the same instant get the same answer, however many times they
+// ask — so a retrying controller and a naive one see identical faults.
+func (in *Injector) decide(kind Kind, now sim.Time, salt uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	x := sim.SubSeed(in.plan.Seed, string(kind)) ^ uint64(now)*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < rate
+}
+
+// faultsOf yields the active faults of one kind at time now.
+func (in *Injector) faultsOf(kind Kind, now sim.Time) []Fault {
+	var out []Fault
+	for _, f := range in.plan.Faults {
+		if f.Kind == kind && f.active(now) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// anyActive reports whether any fault of the kind is active at now.
+func (in *Injector) anyActive(kind Kind, now sim.Time) (Fault, bool) {
+	for _, f := range in.plan.Faults {
+		if f.Kind == kind && f.active(now) {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}

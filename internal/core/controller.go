@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -76,6 +78,11 @@ type Config struct {
 	Selection SelectionPolicy
 	// SelectionSeed seeds SelectRandom's deterministic stream.
 	SelectionSeed uint64
+	// Resilience tunes degraded operation under substrate failures (stale
+	// samples, corrupt readings, scheduler API errors). Zero-valued fields
+	// select safe defaults; Resilience.Disabled restores the naive
+	// controller.
+	Resilience ResilienceConfig
 }
 
 // SelectionPolicy enumerates freeze-candidate orderings.
@@ -116,28 +123,32 @@ func DefaultConfig() Config {
 		EtPercentile:   99.5,
 		EtDefault:      0.05,
 		EtMinSamples:   30,
+		Resilience:     DefaultResilience(),
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, naming the offending field. NaN
+// propagates through every comparison as false, so each numeric field is
+// checked for it explicitly — a NaN parameter must be rejected here, not
+// silently disable the control law.
 func (c Config) Validate() error {
 	switch {
 	case c.Interval <= 0:
-		return fmt.Errorf("core: non-positive interval %v", c.Interval)
-	case c.RStable <= 0 || c.RStable > 1:
+		return fmt.Errorf("core: non-positive Interval %v", c.Interval)
+	case math.IsNaN(c.RStable) || c.RStable <= 0 || c.RStable > 1:
 		return fmt.Errorf("core: RStable %v outside (0,1]", c.RStable)
-	case c.MaxFreezeRatio <= 0 || c.MaxFreezeRatio > 1:
+	case math.IsNaN(c.MaxFreezeRatio) || c.MaxFreezeRatio <= 0 || c.MaxFreezeRatio > 1:
 		return fmt.Errorf("core: MaxFreezeRatio %v outside (0,1]", c.MaxFreezeRatio)
-	case c.DefaultKr <= 0:
-		return fmt.Errorf("core: DefaultKr %v must be positive", c.DefaultKr)
-	case c.EtPercentile <= 0 || c.EtPercentile > 100:
+	case math.IsNaN(c.DefaultKr) || math.IsInf(c.DefaultKr, 0) || c.DefaultKr <= 0:
+		return fmt.Errorf("core: DefaultKr %v must be a finite positive number", c.DefaultKr)
+	case math.IsNaN(c.EtPercentile) || c.EtPercentile <= 0 || c.EtPercentile > 100:
 		return fmt.Errorf("core: EtPercentile %v outside (0,100]", c.EtPercentile)
-	case c.EtDefault < 0:
-		return fmt.Errorf("core: negative EtDefault %v", c.EtDefault)
+	case math.IsNaN(c.EtDefault) || math.IsInf(c.EtDefault, 0) || c.EtDefault < 0:
+		return fmt.Errorf("core: EtDefault %v must be a finite non-negative number", c.EtDefault)
 	case c.Horizon < 0:
-		return fmt.Errorf("core: negative horizon %d", c.Horizon)
+		return fmt.Errorf("core: negative Horizon %d", c.Horizon)
 	}
-	return nil
+	return c.Resilience.validate()
 }
 
 // DomainStats aggregates one domain's control activity.
@@ -159,9 +170,45 @@ type DomainStats struct {
 	// PSum/PMax accumulate the normalized observed power.
 	PSum float64
 	PMax float64
-	// SkippedNoData counts ticks where the monitor had no sample (failure
-	// injection / startup races).
+	// SkippedNoData counts ticks where the monitor had no sample and the
+	// controller had no last-known-good value to fall back on (startup
+	// races; with resilience disabled, any missing sample).
 	SkippedNoData int64
+
+	// Resilience counters (all zero while Resilience.Disabled or the
+	// substrate is healthy).
+
+	// StaleTicks counts ticks served by a stale or missing sample while a
+	// last-known-good value existed.
+	StaleTicks int64
+	// InvalidSamples counts readings rejected as corrupt (NaN, Inf,
+	// negative, or above MaxPlausibleP × budget).
+	InvalidSamples int64
+	// DegradedTicks counts ticks spent flying on last-known-good data,
+	// including fail-safe ticks.
+	DegradedTicks int64
+	// FailSafeTicks counts ticks spent holding the frozen set in fail-safe
+	// mode; FailSafeEntries counts transitions into it.
+	FailSafeTicks   int64
+	FailSafeEntries int64
+	// Recoveries counts degraded→healthy transitions; DegradedDwell is the
+	// total time spent degraded across completed recoveries, so
+	// DegradedDwell/Recoveries is the mean time to recover (MTTR).
+	Recoveries    int64
+	DegradedDwell sim.Duration
+	// Retries counts retried freeze/unfreeze calls after transient API
+	// failures; RetrySuccesses counts the ones that went through.
+	Retries        int64
+	RetrySuccesses int64
+}
+
+// MTTR returns the mean time from entering degraded mode to the next fresh
+// sample, over completed recoveries (zero when nothing recovered yet).
+func (s DomainStats) MTTR() sim.Duration {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return s.DegradedDwell / sim.Duration(s.Recoveries)
 }
 
 // UMean returns the average freezing ratio over all ticks.
@@ -191,6 +238,17 @@ type domainState struct {
 	prevP    float64
 	prevT    sim.Time
 	havePrev bool
+
+	// Resilience state: the last accepted (fresh, valid) sample, the count
+	// of consecutive ticks without one, and the fail-safe latch.
+	lastGoodP     float64
+	lastGoodAt    sim.Time
+	haveGood      bool
+	dark          int
+	degradedSince sim.Time
+	failSafe      bool
+	consecAPIErr  int64
+	pending       map[cluster.ServerID]*pendingOp
 }
 
 // Controller is the Ampere control loop. It is deliberately oblivious to
@@ -201,11 +259,18 @@ type domainState struct {
 type Controller struct {
 	eng     *sim.Engine
 	reader  PowerReader
+	timed   TimedPowerReader // non-nil when reader carries sample times
 	api     FreezeAPI
 	cfg     Config
+	res     ResilienceConfig // cfg.Resilience with defaults resolved
 	domains []*domainState
 	handle  *sim.Handle
 	selRNG  *rand.Rand // only used by SelectRandom
+
+	// mu guards the domain state so the operator HTTP API (Status, Healthz)
+	// can be served live while the event loop mutates counters. The control
+	// path itself stays single-threaded; readers take the read lock.
+	mu sync.RWMutex
 }
 
 // New validates inputs and builds a controller.
@@ -219,7 +284,9 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 	if len(domains) == 0 {
 		return nil, fmt.Errorf("core: no domains to control")
 	}
-	ctl := &Controller{eng: eng, reader: reader, api: api, cfg: cfg}
+	ctl := &Controller{eng: eng, reader: reader, api: api, cfg: cfg,
+		res: cfg.Resilience.withDefaults(cfg.Interval)}
+	ctl.timed, _ = reader.(TimedPowerReader)
 	if cfg.Selection == SelectRandom {
 		ctl.selRNG = sim.SubRNG(cfg.SelectionSeed, "controller-random-selection")
 	}
@@ -228,11 +295,11 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 		if len(d.Servers) == 0 {
 			return nil, fmt.Errorf("core: domain %d (%s) has no servers", i, d.Name)
 		}
-		if d.BudgetW <= 0 {
-			return nil, fmt.Errorf("core: domain %d (%s) has budget %v", i, d.Name, d.BudgetW)
+		if math.IsNaN(d.BudgetW) || math.IsInf(d.BudgetW, 0) || d.BudgetW <= 0 {
+			return nil, fmt.Errorf("core: domain %d (%s) has BudgetW %v, need a finite positive wattage", i, d.Name, d.BudgetW)
 		}
-		if d.Kr < 0 {
-			return nil, fmt.Errorf("core: domain %d (%s) has negative kr", i, d.Name)
+		if math.IsNaN(d.Kr) || math.IsInf(d.Kr, 0) || d.Kr < 0 {
+			return nil, fmt.Errorf("core: domain %d (%s) has Kr %v, need a finite non-negative gradient", i, d.Name, d.Kr)
 		}
 		for _, id := range d.Servers {
 			if prev, dup := owner[id]; dup {
@@ -243,10 +310,11 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 			owner[id] = d.Name
 		}
 		ds := &domainState{
-			d:      d,
-			kr:     d.Kr,
-			et:     d.Et,
-			frozen: make(map[cluster.ServerID]bool),
+			d:       d,
+			kr:      d.Kr,
+			et:      d.Et,
+			frozen:  make(map[cluster.ServerID]bool),
+			pending: make(map[cluster.ServerID]*pendingOp),
 		}
 		if ds.kr == 0 {
 			ds.kr = cfg.DefaultKr
@@ -286,13 +354,23 @@ func (c *Controller) Stop() {
 }
 
 // Stats returns a copy of domain i's counters.
-func (c *Controller) Stats(i int) DomainStats { return c.domains[i].stats }
+func (c *Controller) Stats(i int) DomainStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.domains[i].stats
+}
 
 // FrozenCount returns the number of servers domain i currently freezes.
-func (c *Controller) FrozenCount(i int) int { return len(c.domains[i].frozen) }
+func (c *Controller) FrozenCount(i int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.domains[i].frozen)
+}
 
 // FreezeRatio returns domain i's current realized freezing ratio.
 func (c *Controller) FreezeRatio(i int) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	ds := c.domains[i]
 	return float64(len(ds.frozen)) / float64(len(ds.d.Servers))
 }
@@ -305,8 +383,14 @@ func (c *Controller) HourlyEt(i int) *HourlyEt { return c.domains[i].hourly }
 // (e.g. after replacing a crashed controller instance: the scheduler knows
 // which servers are frozen). isFrozen is consulted for every domain member.
 func (c *Controller) Resync(isFrozen func(id cluster.ServerID) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, ds := range c.domains {
 		ds.frozen = make(map[cluster.ServerID]bool)
+		for id, op := range ds.pending {
+			op.cancelled = true
+			delete(ds.pending, id)
+		}
 		for _, id := range ds.d.Servers {
 			if isFrozen(id) {
 				ds.frozen[id] = true
@@ -318,36 +402,116 @@ func (c *Controller) Resync(isFrozen func(id cluster.ServerID) bool) {
 // Step executes one control tick for every domain. It is driven by Start's
 // periodic event and exported for tests and manual stepping.
 func (c *Controller) Step(now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, ds := range c.domains {
 		c.stepDomain(ds, now)
 	}
 }
 
-// stepDomain is Algorithm 1 for a single domain.
+// stepDomain classifies this tick's reading — fresh, stale, or corrupt —
+// and dispatches to the control law, the degraded fallback, or fail-safe
+// hold. With resilience disabled it is exactly the original Algorithm 1
+// front end: trust anything the reader returns.
 func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
-	watts, ok := c.reader.GroupPower(ds.d.Servers)
-	if !ok {
+	watts, at, ok := c.readGroup(ds.d.Servers, now)
+	p := watts / ds.d.BudgetW
+
+	if c.res.Disabled {
+		if !ok {
+			ds.stats.SkippedNoData++
+			return
+		}
+		c.controlTick(ds, now, p, p, false)
+		return
+	}
+
+	valid := ok && !math.IsNaN(p) && !math.IsInf(p, 0) && p >= 0 && p <= c.res.MaxPlausibleP
+	if ok && !valid {
+		ds.stats.InvalidSamples++
+	}
+	if valid && now.Sub(at) < c.res.StaleAfter {
+		// Fresh, credible sample: recover if we were dark, then run the
+		// normal control law.
+		if ds.dark > 0 {
+			ds.stats.Recoveries++
+			ds.stats.DegradedDwell += now.Sub(ds.degradedSince)
+			ds.dark = 0
+			ds.failSafe = false
+		}
+		ds.lastGoodP, ds.lastGoodAt, ds.haveGood = p, at, true
+		c.controlTick(ds, now, p, p, false)
+		return
+	}
+
+	// Dark interval: nothing trustworthy to read this tick.
+	if !ds.haveGood {
 		ds.stats.SkippedNoData++
 		return
 	}
-	p := watts / ds.d.BudgetW
-	ds.stats.Ticks++
-	ds.stats.PSum += p
-	if p > ds.stats.PMax {
-		ds.stats.PMax = p
+	if ds.dark == 0 {
+		ds.degradedSince = now
 	}
-	if p > 1.0 {
-		ds.stats.Violations++
+	ds.dark++
+	ds.stats.StaleTicks++
+	ds.stats.DegradedTicks++
+	if ds.dark >= c.res.FailSafeAfter {
+		// Fail-safe: too long without data to trust any forecast. Hold the
+		// frozen set exactly as it is — freezing more would thrash on
+		// fiction, unfreezing would release capacity blindly.
+		if !ds.failSafe {
+			ds.failSafe = true
+			ds.stats.FailSafeEntries++
+			c.cancelPendingUnfreezes(ds)
+		}
+		ds.stats.FailSafeTicks++
+		ds.stats.Ticks++
+		ds.stats.PSum += ds.lastGoodP
+		c.recordU(ds)
+		return
+	}
+	// Degraded: fly on the last-known-good power, advanced by a
+	// conservatively inflated Et per dark interval — demand is assumed to
+	// keep rising at the inflated rate while we cannot see it.
+	pEff := ds.lastGoodP + float64(ds.dark)*c.res.EtInflation*ds.et.Estimate(now)
+	c.controlTick(ds, now, ds.lastGoodP, pEff, true)
+}
+
+// controlTick is Algorithm 1 for a single domain. pStat is the power
+// recorded in the statistics; pCtl is the (possibly forecast) power fed to
+// the control law. In degraded mode the controller never shrinks the frozen
+// set: a release decision needs fresh data.
+func (c *Controller) controlTick(ds *domainState, now sim.Time, pStat, pCtl float64, degraded bool) {
+	ds.stats.Ticks++
+	ds.stats.PSum += pStat
+	if !degraded {
+		if pStat > ds.stats.PMax {
+			ds.stats.PMax = pStat
+		}
+		if pStat > 1.0 {
+			ds.stats.Violations++
+		}
 	}
 
 	// Feed the online Et estimator with the increase observed over the
 	// just-finished interval, attributed to the hour that interval started.
-	if ds.hourly != nil && ds.havePrev {
-		ds.hourly.Add(ds.prevT, p-ds.prevP)
+	// Degraded ticks feed nothing: a synthetic forecast is not a
+	// measurement, and the first post-recovery delta spans the whole gap,
+	// so training resumes one tick after recovery.
+	if degraded {
+		ds.havePrev = false
+	} else {
+		if ds.hourly != nil && ds.havePrev {
+			ds.hourly.Add(ds.prevT, pStat-ds.prevP)
+		}
+		ds.prevP, ds.prevT, ds.havePrev = pStat, now, true
 	}
-	ds.prevP, ds.prevT, ds.havePrev = p, now, true
 
+	p := pCtl
 	et := ds.et.Estimate(now)
+	if degraded {
+		et *= c.res.EtInflation
+	}
 	n := len(ds.d.Servers)
 
 	// F(Pk/PM): the SPCP closed form (Eq. 13) at horizon 1 — zero exactly
@@ -366,7 +530,19 @@ func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
 	} else {
 		u = SolveSPCP(p, et, 1.0, ds.kr, c.cfg.MaxFreezeRatio)
 	}
+	if math.IsNaN(u) {
+		// A corrupt reading fed straight through (resilience disabled)
+		// yields a NaN plan; int(NaN) is platform-defined and would slice
+		// out of bounds below. No comparison against NaN holds, so the
+		// faithful "trust the garbage" outcome is taking no action.
+		u = 0
+	}
 	nfreeze := int(u * float64(n)) // ⌊F(Pk/PM)·nk⌋
+	if degraded && nfreeze < len(ds.frozen) {
+		// Never release capacity on a forecast: the frozen set can only
+		// grow until a fresh sample proves the demand receded.
+		nfreeze = len(ds.frozen)
+	}
 	if nfreeze == 0 {
 		// No imminent violation: release everything.
 		c.unfreezeAll(ds)
@@ -401,9 +577,13 @@ func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
 	}
 
 	// Unfreeze members that fell out of S (their power dropped enough).
-	for _, sp := range ranked {
-		if ds.frozen[sp.id] && !inS[sp.id] {
-			c.unfreeze(ds, sp.id)
+	// Skipped in degraded mode: the ranking is stale, and swapping frozen
+	// servers on stale data is churn without information.
+	if !degraded {
+		for _, sp := range ranked {
+			if ds.frozen[sp.id] && !inS[sp.id] {
+				c.unfreeze(ds, sp.id)
+			}
 		}
 	}
 
@@ -439,8 +619,10 @@ func (c *Controller) rankByPreference(ds *domainState) []serverPower {
 	ranked := make([]serverPower, 0, len(ds.d.Servers))
 	for _, id := range ds.d.Servers {
 		p, ok := c.reader.ServerPower(id)
-		if !ok {
-			p = -1 // no sample: least preferred
+		if !ok || math.IsNaN(p) || p < 0 {
+			// No sample, or a corrupt one: least preferred. NaN must not
+			// reach the sort comparator — it breaks ordering transitivity.
+			p = -1
 		}
 		ranked = append(ranked, serverPower{id: id, power: p})
 	}
@@ -468,19 +650,36 @@ func (c *Controller) rankByPreference(ds *domainState) []serverPower {
 }
 
 func (c *Controller) freeze(ds *domainState, id cluster.ServerID) {
+	// The tick path always attempts directly; a scheduled retry for this
+	// server is superseded (whatever it would have done, this decision is
+	// fresher).
+	if op := ds.pending[id]; op != nil {
+		op.cancelled = true
+		delete(ds.pending, id)
+	}
 	if err := c.api.Freeze(id); err != nil {
 		ds.stats.APIErrors++
+		ds.consecAPIErr++
+		c.scheduleRetry(ds, id, false, 0)
 		return
 	}
+	ds.consecAPIErr = 0
 	ds.frozen[id] = true
 	ds.stats.FreezeOps++
 }
 
 func (c *Controller) unfreeze(ds *domainState, id cluster.ServerID) {
+	if op := ds.pending[id]; op != nil {
+		op.cancelled = true
+		delete(ds.pending, id)
+	}
 	if err := c.api.Unfreeze(id); err != nil {
 		ds.stats.APIErrors++
+		ds.consecAPIErr++
+		c.scheduleRetry(ds, id, true, 0)
 		return
 	}
+	ds.consecAPIErr = 0
 	delete(ds.frozen, id)
 	ds.stats.UnfreezeOps++
 }

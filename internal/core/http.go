@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"log"
 	"net/http"
 )
 
@@ -23,10 +24,51 @@ type DomainStatus struct {
 	UMax            float64 `json:"u_max"`
 	PMean           float64 `json:"p_mean"`
 	PMax            float64 `json:"p_max"`
+	// Degraded-operation counters (see DomainStats).
+	StaleTicks     int64   `json:"stale_ticks"`
+	InvalidSamples int64   `json:"invalid_samples"`
+	DegradedTicks  int64   `json:"degraded_ticks"`
+	FailSafeTicks  int64   `json:"failsafe_ticks"`
+	Recoveries     int64   `json:"recoveries"`
+	MTTRMinutes    float64 `json:"mttr_minutes"`
+	Retries        int64   `json:"retries"`
+}
+
+// Domain health states, worst to best.
+const (
+	HealthOK       = "ok"       // fresh data, normal control
+	HealthDegraded = "degraded" // flying on last-known-good data
+	HealthFailSafe = "failsafe" // holding the frozen set, data too old
+	HealthNoData   = "no-data"  // never saw a sample
+)
+
+// DomainHealth is one domain's liveness view, served by GET /healthz.
+type DomainHealth struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// LastSampleAgeMin is the age of the last accepted sample in minutes
+	// (-1 before the first sample).
+	LastSampleAgeMin float64 `json:"last_sample_age_min"`
+	// DarkIntervals is the current run of consecutive ticks without a
+	// fresh valid sample.
+	DarkIntervals int `json:"dark_intervals"`
+	// ConsecutiveAPIErrors is the current run of failed freeze/unfreeze
+	// calls (reset by any success).
+	ConsecutiveAPIErrors int64 `json:"consecutive_api_errors"`
+	Frozen               int   `json:"frozen"`
+}
+
+// Health is the controller-wide health report.
+type Health struct {
+	// State is the worst domain state.
+	State   string         `json:"state"`
+	Domains []DomainHealth `json:"domains"`
 }
 
 // Status returns the current status of every domain.
 func (c *Controller) Status() []DomainStatus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]DomainStatus, 0, len(c.domains))
 	for _, ds := range c.domains {
 		st := ds.stats
@@ -47,40 +89,100 @@ func (c *Controller) Status() []DomainStatus {
 			UMax:            st.UMax,
 			PMean:           st.PMean(),
 			PMax:            st.PMax,
+			StaleTicks:      st.StaleTicks,
+			InvalidSamples:  st.InvalidSamples,
+			DegradedTicks:   st.DegradedTicks,
+			FailSafeTicks:   st.FailSafeTicks,
+			Recoveries:      st.Recoveries,
+			MTTRMinutes:     st.MTTR().Minutes(),
+			Retries:         st.Retries,
 		})
 	}
 	return out
+}
+
+// Healthz returns the per-domain health snapshot: how old each domain's
+// data is and whether the controller is degraded or holding in fail-safe.
+func (c *Controller) Healthz() Health {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	now := c.eng.Now()
+	h := Health{State: HealthOK}
+	rank := map[string]int{HealthOK: 0, HealthDegraded: 1, HealthFailSafe: 2, HealthNoData: 3}
+	for _, ds := range c.domains {
+		dh := DomainHealth{
+			Name:                 ds.d.Name,
+			State:                HealthOK,
+			LastSampleAgeMin:     -1,
+			DarkIntervals:        ds.dark,
+			ConsecutiveAPIErrors: ds.consecAPIErr,
+			Frozen:               len(ds.frozen),
+		}
+		switch {
+		case !ds.haveGood:
+			dh.State = HealthNoData
+		case ds.failSafe:
+			dh.State = HealthFailSafe
+		case ds.dark > 0:
+			dh.State = HealthDegraded
+		}
+		if ds.haveGood {
+			dh.LastSampleAgeMin = now.Sub(ds.lastGoodAt).Minutes()
+		}
+		if rank[dh.State] > rank[h.State] {
+			h.State = dh.State
+		}
+		h.Domains = append(h.Domains, dh)
+	}
+	return h
 }
 
 // Handler serves the controller's operator API:
 //
 //	GET /domains          → JSON array of DomainStatus
 //	GET /domains/{name}   → JSON DomainStatus for one domain
+//	GET /healthz          → JSON Health; 503 when any domain is in
+//	                        fail-safe mode or has never seen data
 //
 // It is read-only; control actions flow only through the control loop. The
-// handler must be served from the same goroutine discipline as the
-// simulation (e.g. behind cmd/powermon's snapshotting) or after the run
-// completes — the controller itself is not locked, matching its
-// single-threaded event-loop design.
+// controller's state is mutex-guarded, so the handler may be served live
+// from another goroutine while the simulation runs (cmd/powermon does).
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /domains", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Status())
+		writeJSON(w, http.StatusOK, c.Status())
 	})
 	mux.HandleFunc("GET /domains/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		for _, st := range c.Status() {
 			if st.Name == name {
-				writeJSON(w, st)
+				writeJSON(w, http.StatusOK, st)
 				return
 			}
 		}
 		http.Error(w, "no such domain: "+name, http.StatusNotFound)
 	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := c.Healthz()
+		code := http.StatusOK
+		if h.State == HealthFailSafe || h.State == HealthNoData {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v before touching the response, so an encoding failure
+// can still become a clean 500 instead of a half-written 200.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("core: encoding %T response: %v", v, err)
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
 }

@@ -2,9 +2,12 @@ package core
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestControllerStatusAndHandler(t *testing.T) {
@@ -65,4 +68,110 @@ func TestControllerStatusAndHandler(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("missing domain status %d", resp.StatusCode)
 	}
+}
+
+func TestHealthzStates(t *testing.T) {
+	reader := uniformReader(10, 80) // comfortably under budget
+	api := newFakeAPI()
+	ctl := newTestController(t, reader, api, 0.02)
+
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	getState := func(wantCode int) Health {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("/healthz status %d, want %d", resp.StatusCode, wantCode)
+		}
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	// Before any sample the controller has nothing to fly on.
+	h := getState(http.StatusServiceUnavailable)
+	if h.State != HealthNoData || h.Domains[0].LastSampleAgeMin != -1 {
+		t.Fatalf("pre-sample health = %+v", h)
+	}
+
+	// One fresh sample: healthy.
+	ctl.Step(0)
+	h = getState(http.StatusOK)
+	if h.State != HealthOK {
+		t.Fatalf("post-sample health = %+v", h)
+	}
+
+	// Monitor outage: degraded first, fail-safe after FailSafeAfter dark
+	// intervals (default 5).
+	reader.down = true
+	ctl.Step(sim.Time(1 * sim.Minute))
+	h = getState(http.StatusOK)
+	if h.State != HealthDegraded || h.Domains[0].DarkIntervals != 1 {
+		t.Fatalf("one dark tick should be degraded: %+v", h)
+	}
+	for m := int64(2); m <= 5; m++ {
+		ctl.Step(sim.Time(m) * sim.Time(sim.Minute))
+	}
+	h = getState(http.StatusServiceUnavailable)
+	if h.State != HealthFailSafe {
+		t.Fatalf("five dark ticks should latch fail-safe: %+v", h)
+	}
+
+	// Data returns: healthy again.
+	reader.down = false
+	ctl.Step(sim.Time(6 * sim.Minute))
+	if h = getState(http.StatusOK); h.State != HealthOK {
+		t.Fatalf("recovery should clear fail-safe: %+v", h)
+	}
+	if st := ctl.Stats(0); st.Recoveries != 1 || st.MTTR() == 0 {
+		t.Fatalf("recovery accounting: %+v", st)
+	}
+}
+
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.NaN()) // NaN is not representable in JSON
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("encode failure returned %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct == "application/json" {
+		t.Fatal("failed encode must not commit JSON headers")
+	}
+}
+
+// TestHandlerServesLive hammers the HTTP API from one goroutine while the
+// control loop steps in another; run under -race this proves the status
+// path is properly guarded (cmd/powermon serves it exactly this way).
+func TestHandlerServesLive(t *testing.T) {
+	reader := uniformReader(10, 120)
+	api := newFakeAPI()
+	ctl := newTestController(t, reader, api, 0.05)
+
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := int64(0); m < 50; m++ {
+			ctl.Step(sim.Time(m) * sim.Time(sim.Minute))
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		for _, path := range []string{"/domains", "/healthz", "/domains/grp"} {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	<-done
 }

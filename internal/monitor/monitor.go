@@ -51,12 +51,21 @@ type Config struct {
 // DefaultConfig returns the paper's 1-minute sampling.
 func DefaultConfig() Config { return Config{Interval: sim.Minute} }
 
+// Store is the monitor's view of the time-series database: an append-only
+// sink for samples. tsdb.DB satisfies it; fault injectors wrap it to make
+// the write path fail.
+type Store interface {
+	Append(name string, t sim.Time, v float64) error
+}
+
 // Monitor samples a cluster into a TSDB and keeps a latest-value snapshot.
 type Monitor struct {
 	eng *sim.Engine
 	c   *cluster.Cluster
-	db  *tsdb.DB
 	cfg Config
+
+	store       Store
+	writeErrors int64
 
 	lastServer []float64 // latest sample per server
 	lastTime   sim.Time
@@ -81,15 +90,22 @@ func New(eng *sim.Engine, c *cluster.Cluster, db *tsdb.DB, cfg Config) (*Monitor
 	m := &Monitor{
 		eng:        eng,
 		c:          c,
-		db:         db,
 		cfg:        cfg,
 		lastServer: make([]float64, len(c.Servers)),
+	}
+	if db != nil {
+		m.store = db
 	}
 	if cfg.SweepDropRate > 0 {
 		m.dropRNG = sim.SubRNG(cfg.DropSeed, "monitor-drops")
 	}
 	return m, nil
 }
+
+// SetStore replaces the monitor's TSDB sink. Chaos tests interpose a
+// failing store here; passing nil disables history entirely. Call before
+// Start.
+func (m *Monitor) SetStore(s Store) { m.store = s }
 
 // Start begins periodic sampling, with the first sweep at the current time.
 // Start the monitor before any component that consumes its samples in the
@@ -131,20 +147,20 @@ func (m *Monitor) Sweep(now sim.Time) {
 			m.lastServer[sv.ID] = p
 			rowTotal += p
 			rackTotals[sv.Rack] += p
-			if m.db != nil && m.cfg.StoreServerSeries {
-				m.mustAppend(SeriesServer(sv.ID), now, p)
+			if m.store != nil && m.cfg.StoreServerSeries {
+				m.append(SeriesServer(sv.ID), now, p)
 			}
 		}
 		dcTotal += rowTotal
-		if m.db != nil {
-			m.mustAppend(SeriesRow(r), now, rowTotal)
+		if m.store != nil {
+			m.append(SeriesRow(r), now, rowTotal)
 			for k, v := range rackTotals {
-				m.mustAppend(SeriesRack(r, k), now, v)
+				m.append(SeriesRack(r, k), now, v)
 			}
 		}
 	}
-	if m.db != nil {
-		m.mustAppend(SeriesDC, now, dcTotal)
+	if m.store != nil {
+		m.append(SeriesDC, now, dcTotal)
 	}
 	m.lastTime = now
 	m.haveSample = true
@@ -154,10 +170,12 @@ func (m *Monitor) Sweep(now sim.Time) {
 	}
 }
 
-func (m *Monitor) mustAppend(name string, t sim.Time, v float64) {
-	if err := m.db.Append(name, t, v); err != nil {
-		// Monitor time only moves forward; an append failure is a bug.
-		panic(err)
+// append writes one sample to the store. History is best-effort: a
+// rejected write loses that point but must not take down sampling — the
+// controller consumes the in-memory snapshot, which is already updated.
+func (m *Monitor) append(name string, t sim.Time, v float64) {
+	if err := m.store.Append(name, t, v); err != nil {
+		m.writeErrors++
 	}
 }
 
@@ -166,6 +184,9 @@ func (m *Monitor) Sweeps() int64 { return m.sweeps }
 
 // Dropped returns the number of sweeps lost to injected failures.
 func (m *Monitor) Dropped() int64 { return m.dropped }
+
+// WriteErrors returns the number of TSDB writes the store rejected.
+func (m *Monitor) WriteErrors() int64 { return m.writeErrors }
 
 // ServerPower returns the latest sampled power of one server.
 func (m *Monitor) ServerPower(id cluster.ServerID) (float64, bool) {
@@ -205,3 +226,11 @@ func (m *Monitor) GroupPower(ids []cluster.ServerID) (float64, bool) {
 
 // LastSampleTime returns the time of the latest sweep.
 func (m *Monitor) LastSampleTime() (sim.Time, bool) { return m.lastTime, m.haveSample }
+
+// GroupSampleTime returns the time the latest snapshot of the group was
+// taken. Sweeps sample the whole cluster at once, so every group shares the
+// sweep time; it satisfies core.TimedPowerReader so the controller can tell
+// a fresh sample from a snapshot left stale by dropped sweeps.
+func (m *Monitor) GroupSampleTime([]cluster.ServerID) (sim.Time, bool) {
+	return m.lastTime, m.haveSample
+}

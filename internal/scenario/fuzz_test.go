@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes through the JSON loader and, when a spec
+// parses, through validation and a marshal round-trip. Malformed or hostile
+// configs must come back as errors — never panics — and an accepted spec
+// must survive re-encoding.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"seed":1,"rows":2,"row_servers":40,"hours":24,"target_frac":0.6,"ro":0.25,"ampere":true}`)
+	f.Add(`{"rows":1,"row_servers":20,"hours":1,"products":[{"name":"web","jobs_per_minute":50}]}`)
+	f.Add(`{"rows":-3,"row_servers":7,"hours":0}`)
+	f.Add(`{"unknown_field":true}`)
+	f.Add(`{"rows":1e309}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Add(`{"rows":1,"row_servers":20,"hours":1,"target_frac":0.5,"policy":"no-such-policy"}`)
+	f.Add(`{"rows":2,"row_servers":20,"hours":1,"target_frac":0.5,"products":[{"row_weights":[1]}]}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Load(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("Load returned nil spec and nil error")
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		// A spec that parsed and validated must round-trip through JSON to
+		// an equally valid spec.
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("cannot re-marshal accepted spec: %v", err)
+		}
+		s2, err := Load(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("re-parse of accepted spec failed: %v\n%s", err, blob)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("round-tripped spec no longer validates: %v\n%s", err, blob)
+		}
+	})
+}

@@ -76,6 +76,11 @@ func Load(r io.Reader) (*Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	// Decode stops at the end of the first JSON value; anything after it is
+	// a malformed config, not padding.
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after spec (%v, %v)", tok, err)
+	}
 	return &s, nil
 }
 

@@ -1,0 +1,59 @@
+package tsdb
+
+import (
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzQueryAPI drives the REST query endpoints with arbitrary series names
+// and from/to strings. Whatever arrives on the wire, the handler must answer
+// with a well-formed HTTP status — 200, 400, or 404 — and never panic; every
+// 200 from /query must carry a JSON body.
+func FuzzQueryAPI(f *testing.F) {
+	f.Add("power/row/0", "0", "86400000")
+	f.Add("power/row/0", "", "")
+	f.Add("", "1", "2")
+	f.Add("no/such/series", "-9223372036854775808", "9223372036854775807")
+	f.Add("power/row/0", "99999999999999999999", "1e9")
+	f.Add("power/row/0", "12x", " 12")
+	f.Add("a&b=c", "+5", "-0")
+	f.Add("power/row/0", "86400000", "0")
+
+	f.Fuzz(func(t *testing.T, name, from, to string) {
+		db := New(1024)
+		for i := 0; i < 10; i++ {
+			ts := sim.Time(i) * sim.Time(sim.Minute)
+			if err := db.Append("power/row/0", ts, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := db.Handler()
+
+		q := url.Values{}
+		if name != "" {
+			q.Set("name", name)
+		}
+		if from != "" {
+			q.Set("from", from)
+		}
+		if to != "" {
+			q.Set("to", to)
+		}
+		for _, path := range []string{"/query", "/latest", "/series"} {
+			req := httptest.NewRequest("GET", path+"?"+q.Encode(), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			switch rec.Code {
+			case 200, 400, 404:
+			default:
+				t.Fatalf("GET %s?%s → %d\n%s", path, q.Encode(), rec.Code, rec.Body)
+			}
+			if path == "/query" && rec.Code == 200 && rec.Body.Len() == 0 {
+				t.Fatalf("200 from /query with empty body (name=%q from=%q to=%q)", name, from, to)
+			}
+		}
+	})
+}
