@@ -1,11 +1,18 @@
-# Tier-1 is the merge gate: everything must build, vet clean, and pass the
-# full suite under the race detector.
-.PHONY: tier1 build vet test race fuzz chaos
+# Tier-1 is the merge gate: everything must build, lint clean (gofmt + vet),
+# and pass the full suite under the race detector.
+.PHONY: tier1 build lint vet test race fuzz chaos
 
-tier1: build vet race
+tier1: build lint race
 
 build:
 	go build ./...
+
+# lint fails when any file needs reformatting (gofmt -l prints it) or vet
+# finds a problem.
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	go vet ./...
 
 vet:
 	go vet ./...

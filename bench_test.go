@@ -14,11 +14,14 @@
 package repro_test
 
 import (
+	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/tsdb"
@@ -453,6 +456,81 @@ func BenchmarkWorkloadGeneratorDay(b *testing.B) {
 		if n == 0 {
 			b.Fatal("no jobs")
 		}
+	}
+}
+
+// BenchmarkMetricsScrape renders the exposition of a fully instrumented
+// default-topology deployment (2 rows × 200 servers: controller, monitor,
+// TSDB, scheduler, breakers, chaos injector). The ISSUE acceptance bound is
+// < 1 ms per scrape.
+func BenchmarkMetricsScrape(b *testing.B) {
+	spec := cluster.DefaultSpec()
+	spec.Rows = 2
+	spec.RacksPerRow = 10
+	spec.ServersPerRack = 20
+
+	dd := workload.DefaultDurations()
+	perServer := workload.RateForPowerFraction(0.75, spec.IdlePowerW, spec.RatedPowerW,
+		spec.Containers, dd.Mean()*0.95, 1.0)
+	rig, err := experiment.NewRig(experiment.RigConfig{
+		Seed:    1,
+		Cluster: spec,
+		Products: []workload.Product{
+			workload.DefaultProduct("mixed", perServer*float64(spec.TotalServers()))},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(0)
+	rig.Mon.Instrument(reg)
+	rig.DB.Instrument(reg)
+	rig.Sched.Instrument(reg)
+	rig.StartBase()
+	budget := spec.RowRatedPowerW() / 1.25
+	domains := make([]core.Domain, spec.Rows)
+	for r := 0; r < spec.Rows; r++ {
+		var ids []cluster.ServerID
+		for _, sv := range rig.Cluster.Row(r) {
+			ids = append(ids, sv.ID)
+		}
+		domains[r] = core.Domain{Name: fmt.Sprintf("row/%d", r), Servers: ids,
+			BudgetW: budget, Kr: experiment.DefaultKr}
+	}
+	ctl, err := core.New(rig.Eng, rig.Mon, rig.Sched, core.DefaultConfig(), domains)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl.Instrument(reg, journal)
+	ctl.Start()
+	if err := rig.Run(sim.Time(30 * sim.Minute)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalAppend measures the per-tick cost of the decision journal
+// once the ring is full (steady state: overwrite, no allocation).
+func BenchmarkJournalAppend(b *testing.B) {
+	j := obs.NewJournal(0)
+	ev := obs.Event{
+		SimMS: 60000, SimTime: "d0 00:01:00.000", Domain: "row/0",
+		PowerW: 38000, PNorm: 0.95, Et: 0.05, Action: "hold",
+		TargetFrozen: 12, Frozen: 12, Health: "ok",
+	}
+	for i := 0; i < j.Cap(); i++ {
+		j.Append(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Append(ev)
 	}
 }
 

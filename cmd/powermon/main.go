@@ -11,21 +11,38 @@
 //	curl 'http://localhost:8080/status'
 //	curl 'http://localhost:8080/domains'
 //	curl 'http://localhost:8080/healthz'
+//	curl 'http://localhost:8080/metrics'
+//	curl 'http://localhost:8080/events?n=10'
+//
+// With -obs (the default) every subsystem registers its metrics on one
+// registry served in Prometheus text format at /metrics, and each control
+// tick appends a decision event to a ring-buffer journal served at /events.
+// -pprof additionally mounts net/http/pprof under /debug/pprof/. On SIGINT
+// or SIGTERM the server drains in-flight requests and, when -journal-out is
+// set, flushes the journal to that path as JSONL before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/breaker"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -40,12 +57,36 @@ func main() {
 		ro         = flag.Float64("ro", 0.25, "over-provisioning ratio")
 		ampere     = flag.Bool("ampere", true, "run the Ampere controller")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		obsOn      = flag.Bool("obs", true, "serve /metrics and /events")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		journalCap = flag.Int("journal-cap", obs.DefaultJournalCap, "control-decision journal capacity (events)")
+		journalOut = flag.String("journal-out", "", "flush the journal to this JSONL file on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *tick, *rows, *rowServers, *target, *ro, *ampere, *seed); err != nil {
+	cfg := runConfig{
+		addr: *addr, tick: *tick, rows: *rows, rowServers: *rowServers,
+		target: *target, ro: *ro, ampere: *ampere, seed: *seed,
+		obs: *obsOn, pprof: *pprofOn, journalCap: *journalCap, journalOut: *journalOut,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "powermon:", err)
 		os.Exit(1)
 	}
+}
+
+type runConfig struct {
+	addr       string
+	tick       time.Duration
+	rows       int
+	rowServers int
+	target     float64
+	ro         float64
+	ampere     bool
+	seed       uint64
+	obs        bool
+	pprof      bool
+	journalCap int
+	journalOut string
 }
 
 type status struct {
@@ -58,22 +99,22 @@ type status struct {
 	Violations []int64   `json:"violations_per_row"`
 }
 
-func run(addr string, tick time.Duration, rows, rowServers int, target, ro float64, ampere bool, seed uint64) error {
+func run(cfg runConfig) error {
 	spec := cluster.DefaultSpec()
-	spec.Rows = rows
+	spec.Rows = cfg.rows
 	spec.ServersPerRack = 20
-	spec.RacksPerRow = rowServers / spec.ServersPerRack
+	spec.RacksPerRow = cfg.rowServers / spec.ServersPerRack
 	if spec.RacksPerRow < 1 {
-		return fmt.Errorf("row-servers %d too small", rowServers)
+		return fmt.Errorf("row-servers %d too small", cfg.rowServers)
 	}
 
 	dd := workload.DefaultDurations()
-	perServer := workload.RateForPowerFraction(target, spec.IdlePowerW, spec.RatedPowerW,
+	perServer := workload.RateForPowerFraction(cfg.target, spec.IdlePowerW, spec.RatedPowerW,
 		spec.Containers, dd.Mean()*0.95, 1.0)
 	product := workload.DefaultProduct("mixed", perServer*float64(spec.TotalServers()))
 
 	rig, err := experiment.NewRig(experiment.RigConfig{
-		Seed:      seed,
+		Seed:      cfg.seed,
 		Cluster:   spec,
 		Products:  []workload.Product{product},
 		Retention: 7 * 24 * 60, // one week of minutes per series
@@ -81,14 +122,47 @@ func run(addr string, tick time.Duration, rows, rowServers int, target, ro float
 	if err != nil {
 		return err
 	}
+
+	// Observability wiring: one registry for every subsystem, one journal
+	// for control decisions. With -obs=false both stay nil and every
+	// Instrument call below is a no-op.
+	var (
+		reg     *obs.Registry
+		journal *obs.Journal
+	)
+	if cfg.obs {
+		reg = obs.NewRegistry()
+		journal = obs.NewJournal(cfg.journalCap)
+		rig.Mon.Instrument(reg)
+		rig.DB.Instrument(reg)
+		rig.Sched.Instrument(reg)
+	}
 	rig.StartBase()
 
-	budget := spec.RowRatedPowerW() / (1 + ro)
+	budget := spec.RowRatedPowerW() / (1 + cfg.ro)
+
+	// The controller's dependencies go through an empty-plan chaos injector:
+	// with no faults it is a deterministic pass-through, but its counters
+	// register on the scrape so operators watch the same metric families in
+	// drills and in production. Real fault plans are injected by the chaos
+	// harness (internal/chaos, cmd/drill).
+	reader := core.PowerReader(rig.Mon)
+	api := core.FreezeAPI(rig.Sched)
+	if cfg.obs {
+		inj, err := chaos.New(rig.Eng, chaos.Plan{Seed: cfg.seed})
+		if err != nil {
+			return err
+		}
+		inj.Instrument(reg)
+		reader = inj.WrapReader(rig.Mon)
+		api = inj.WrapAPI(rig.Sched)
+	}
+
 	var controller *core.Controller
-	if ampere {
-		domains := make([]core.Domain, rows)
-		for r := 0; r < rows; r++ {
-			ids := make([]cluster.ServerID, 0, rowServers)
+	if cfg.ampere {
+		domains := make([]core.Domain, cfg.rows)
+		for r := 0; r < cfg.rows; r++ {
+			ids := make([]cluster.ServerID, 0, cfg.rowServers)
 			for _, sv := range rig.Cluster.Row(r) {
 				ids = append(ids, sv.ID)
 			}
@@ -97,20 +171,47 @@ func run(addr string, tick time.Duration, rows, rowServers int, target, ro float
 				Kr: experiment.DefaultKr,
 			}
 		}
-		controller, err = core.New(rig.Eng, rig.Mon, rig.Sched, core.DefaultConfig(), domains)
+		controller, err = core.New(rig.Eng, reader, api, core.DefaultConfig(), domains)
 		if err != nil {
 			return err
 		}
+		controller.Instrument(reg, journal)
 		controller.Start()
+	}
+
+	// Observational per-row breakers: they evaluate the real trip curve and
+	// export heat/trip metrics, but carry no OnTrip callback, so an overload
+	// is visible on /metrics without blast-radius consequences in the sim.
+	if cfg.obs {
+		for r := 0; r < cfg.rows; r++ {
+			b, err := breaker.New(rig.Eng, breaker.DefaultConfig(budget), rig.Cluster.Row(r))
+			if err != nil {
+				return err
+			}
+			b.Instrument(reg, fmt.Sprintf("row/%d", r))
+			b.Start()
+		}
 	}
 
 	st := &status{BudgetW: budget}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Simulation loop: one simulated minute per tick. The engine is
-	// single-threaded; only the thread-safe TSDB and the mutex-guarded
-	// status snapshot are shared with HTTP handlers.
+	// single-threaded; only the thread-safe TSDB, registry, journal and the
+	// mutex-guarded status snapshot are shared with HTTP handlers.
+	simDone := make(chan struct{})
 	go func() {
-		for range time.Tick(tick) {
+		defer close(simDone)
+		ticker := time.NewTicker(cfg.tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
 			next := rig.Eng.Now().Add(sim.Minute)
 			if err := rig.Run(next); err != nil {
 				log.Printf("simulation error: %v", err)
@@ -122,7 +223,7 @@ func run(addr string, tick time.Duration, rows, rowServers int, target, ro float
 			st.RowPowerW = st.RowPowerW[:0]
 			st.Frozen = st.Frozen[:0]
 			st.Violations = st.Violations[:0]
-			for r := 0; r < rows; r++ {
+			for r := 0; r < cfg.rows; r++ {
 				p, _ := rig.Mon.RowPower(r)
 				st.RowPowerW = append(st.RowPowerW, p)
 				if controller != nil {
@@ -145,13 +246,77 @@ func run(addr string, tick time.Duration, rows, rowServers int, target, ro float
 		mux.Handle("/domains/", h)
 		mux.Handle("/healthz", h)
 	}
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if journal != nil {
+		mux.Handle("/events", journal.Handler())
+	}
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
-		defer st.mu.Unlock()
+		buf, err := json.Marshal(st)
+		st.mu.Unlock()
+		if err != nil {
+			http.Error(w, "response encoding failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(st)
+		w.Write(append(buf, '\n'))
 	})
-	log.Printf("powermon: serving %d×%d servers on %s (budget %.0f W/row, ampere=%v)",
-		rows, rowServers, addr, budget, ampere)
-	return http.ListenAndServe(addr, mux)
+
+	srv := &http.Server{Addr: cfg.addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("powermon: serving %d×%d servers on %s (budget %.0f W/row, ampere=%v, obs=%v)",
+		cfg.rows, cfg.rowServers, cfg.addr, budget, cfg.ampere, cfg.obs)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own; nothing to drain.
+		stop()
+		<-simDone
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("powermon: shutting down")
+	<-simDone
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("powermon: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return flushJournal(journal, cfg.journalOut)
+}
+
+// flushJournal writes the journal to path as JSONL. A nil journal or empty
+// path is a no-op, so plain Ctrl-C exits stay silent.
+func flushJournal(journal *obs.Journal, path string) error {
+	if journal == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := journal.WriteJSONL(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	log.Printf("powermon: journal flushed to %s (%d events)", path, journal.Len())
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,42 @@ type Breaker struct {
 	onTrip    func(now sim.Time)
 	handle    *sim.Handle
 	evaluated int64
+	met       *metrics
+}
+
+// metrics is the breaker's optional observability wiring. All fields are
+// atomic, so a live /metrics scrape never races the simulation goroutine
+// stepping the breaker.
+type metrics struct {
+	trips       *obs.Counter
+	evaluations *obs.Counter
+	heat        *obs.Gauge
+	state       *obs.Gauge
+}
+
+// Instrument registers the breaker's metrics on reg under the given domain
+// label (nil reg is a no-op):
+//
+//	breaker_trips_total{domain}         counter
+//	breaker_evaluations_total{domain}   counter
+//	breaker_heat{domain}                gauge, fraction of trip threshold
+//	breaker_tripped{domain}             gauge, 1 when open
+//
+// Call before Start.
+func (b *Breaker) Instrument(reg *obs.Registry, domain string) {
+	if reg == nil {
+		return
+	}
+	b.met = &metrics{
+		trips: reg.CounterVec("breaker_trips_total",
+			"Breaker trip events (open circuit).", "domain").With(domain),
+		evaluations: reg.CounterVec("breaker_evaluations_total",
+			"Draw evaluations against the trip curve.", "domain").With(domain),
+		heat: reg.GaugeVec("breaker_heat",
+			"Thermal accumulator as a fraction of the trip threshold.", "domain").With(domain),
+		state: reg.GaugeVec("breaker_tripped",
+			"1 when the breaker is open, 0 when closed.", "domain").With(domain),
+	}
 }
 
 // New validates the config and builds a breaker over the servers.
@@ -114,10 +151,18 @@ func (b *Breaker) Heat() float64 { return b.heat / b.cfg.TripOverloadSeconds }
 func (b *Breaker) Reset() {
 	b.tripped = false
 	b.heat = 0
+	if b.met != nil {
+		b.met.state.Set(0)
+		b.met.heat.Set(0)
+	}
 }
 
 func (b *Breaker) step(now sim.Time) {
 	b.evaluated++
+	if b.met != nil {
+		b.met.evaluations.Inc()
+		b.met.heat.Set(b.Heat())
+	}
 	if b.tripped {
 		return
 	}
@@ -147,6 +192,10 @@ func (b *Breaker) step(now sim.Time) {
 func (b *Breaker) trip(now sim.Time) {
 	b.tripped = true
 	b.tripTime = now
+	if b.met != nil {
+		b.met.trips.Inc()
+		b.met.state.Set(1)
+	}
 	if b.onTrip != nil {
 		b.onTrip(now)
 	}

@@ -41,18 +41,30 @@ func (a *API) inject(op string, id cluster.ServerID) error {
 	now := a.in.eng.Now()
 	if f, on := a.in.anyActive(APILatency, now); on {
 		a.in.stats.APILatency += f.Latency
+		if a.in.met != nil {
+			a.in.met.apiLatencyMS.Add(int64(f.Latency))
+		}
 		if f.Timeout > 0 && f.Latency >= f.Timeout {
 			a.in.stats.APIFailures++
+			if a.in.met != nil {
+				a.in.met.apiFailures.Inc()
+			}
 			return fmt.Errorf("chaos: %s %d timed out after %v at %v", op, id, f.Timeout, now)
 		}
 	}
 	if _, on := a.in.anyActive(APIPersistent, now); on {
 		a.in.stats.APIFailures++
+		if a.in.met != nil {
+			a.in.met.apiFailures.Inc()
+		}
 		return fmt.Errorf("chaos: scheduler down, %s %d refused at %v", op, id, now)
 	}
 	for _, f := range a.in.faultsOf(APITransient, now) {
 		if a.in.decide(APITransient, now, uint64(id)+1, f.Rate) {
 			a.in.stats.APIFailures++
+			if a.in.met != nil {
+				a.in.met.apiFailures.Inc()
+			}
 			return fmt.Errorf("chaos: transient %s %d failure at %v", op, id, now)
 		}
 	}
@@ -82,6 +94,9 @@ func (s *Store) Append(name string, t sim.Time, v float64) error {
 	for _, f := range s.in.faultsOf(StoreReject, now) {
 		if f.Rate == 0 || s.in.decide(StoreReject, now, sim.SubSeed(0, name), f.Rate) {
 			s.in.stats.StoreRejects++
+			if s.in.met != nil {
+				s.in.met.storeRejects.Inc()
+			}
 			return fmt.Errorf("chaos: tsdb write %q rejected at %v", name, now)
 		}
 	}

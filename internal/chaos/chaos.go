@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -150,6 +151,52 @@ type Injector struct {
 	eng   *sim.Engine
 	plan  Plan
 	stats Stats
+	met   *chaosMetrics
+}
+
+// chaosMetrics mirrors Stats as atomic counters so a live /metrics scrape
+// never races the simulation goroutine driving the wrappers.
+type chaosMetrics struct {
+	readsBlackedOut *obs.Counter
+	readsNaN        *obs.Counter
+	readsOutlier    *obs.Counter
+	readsLagged     *obs.Counter
+	apiFailures     *obs.Counter
+	apiLatencyMS    *obs.Counter
+	storeRejects    *obs.Counter
+}
+
+// Instrument registers the injector's counters on reg (nil is a no-op):
+//
+//	chaos_reads_blacked_out_total         counter
+//	chaos_reads_nan_total                 counter
+//	chaos_reads_outlier_total             counter
+//	chaos_reads_lagged_total              counter
+//	chaos_api_failures_total              counter
+//	chaos_api_injected_latency_ms_total   counter, virtual milliseconds
+//	chaos_store_rejects_total             counter
+//
+// Call before handing out wrappers.
+func (in *Injector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	in.met = &chaosMetrics{
+		readsBlackedOut: reg.Counter("chaos_reads_blacked_out_total",
+			"Group reads answered from the frozen pre-blackout snapshot."),
+		readsNaN: reg.Counter("chaos_reads_nan_total",
+			"Group readings corrupted to NaN."),
+		readsOutlier: reg.Counter("chaos_reads_outlier_total",
+			"Group readings scaled to outliers."),
+		readsLagged: reg.Counter("chaos_reads_lagged_total",
+			"Group reads whose sample timestamp was aged."),
+		apiFailures: reg.Counter("chaos_api_failures_total",
+			"Freeze/Unfreeze calls failed by injection."),
+		apiLatencyMS: reg.Counter("chaos_api_injected_latency_ms_total",
+			"Total virtual latency injected into API calls, in milliseconds."),
+		storeRejects: reg.Counter("chaos_store_rejects_total",
+			"TSDB writes rejected by injection."),
+	}
 }
 
 // New builds an injector for a validated plan.

@@ -68,6 +68,9 @@ func (r *Reader) GroupPower(ids []cluster.ServerID) (float64, bool) {
 			return 0, false // blackout before the first healthy sample
 		}
 		r.in.stats.ReadsBlackedOut++
+		if r.in.met != nil {
+			r.in.met.readsBlackedOut.Inc()
+		}
 		return s.v, true
 	}
 	v, ok := r.inner.GroupPower(ids)
@@ -78,12 +81,18 @@ func (r *Reader) GroupPower(ids []cluster.ServerID) (float64, bool) {
 	for _, f := range r.in.faultsOf(ReadNaN, now) {
 		if r.in.decide(ReadNaN, now, key, f.Rate) {
 			r.in.stats.ReadsNaN++
+			if r.in.met != nil {
+				r.in.met.readsNaN.Inc()
+			}
 			return math.NaN(), true
 		}
 	}
 	for _, f := range r.in.faultsOf(ReadOutlier, now) {
 		if r.in.decide(ReadOutlier, now, key, f.Rate) {
 			r.in.stats.ReadsOutlier++
+			if r.in.met != nil {
+				r.in.met.readsOutlier.Inc()
+			}
 			return v * f.Factor, true
 		}
 	}
@@ -133,6 +142,9 @@ func (r *Reader) GroupSampleTime(ids []cluster.ServerID) (sim.Time, bool) {
 	}
 	if f, on := r.in.anyActive(ReadLag, now); on {
 		r.in.stats.ReadsLagged++
+		if r.in.met != nil {
+			r.in.met.readsLagged.Inc()
+		}
 		at = at.Add(-f.Lag)
 	}
 	return at, true

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -249,6 +250,16 @@ type domainState struct {
 	failSafe      bool
 	consecAPIErr  int64
 	pending       map[cluster.ServerID]*pendingOp
+
+	// Last tick's decision inputs, kept for the metrics gauges and the
+	// decision journal: observed normalized power, the Et threshold used,
+	// and the freeze target after degraded-mode clamping.
+	lastP      float64
+	lastEt     float64
+	lastTarget int
+	// apiWall accumulates wall-clock time spent in scheduler API calls
+	// during the current tick (instrumented controllers only).
+	apiWall time.Duration
 }
 
 // Controller is the Ampere control loop. It is deliberately oblivious to
@@ -266,6 +277,7 @@ type Controller struct {
 	domains []*domainState
 	handle  *sim.Handle
 	selRNG  *rand.Rand // only used by SelectRandom
+	ins     *instrumentation
 
 	// mu guards the domain state so the operator HTTP API (Status, Healthz)
 	// can be served live while the event loop mutates counters. The control
@@ -404,8 +416,15 @@ func (c *Controller) Resync(isFrozen func(id cluster.ServerID) bool) {
 func (c *Controller) Step(now sim.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var start time.Time
+	if c.ins != nil && c.ins.tickDur != nil {
+		start = time.Now()
+	}
 	for _, ds := range c.domains {
-		c.stepDomain(ds, now)
+		c.tickDomain(ds, now)
+	}
+	if c.ins != nil && c.ins.tickDur != nil {
+		c.ins.tickDur.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -467,6 +486,7 @@ func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
 		ds.stats.FailSafeTicks++
 		ds.stats.Ticks++
 		ds.stats.PSum += ds.lastGoodP
+		ds.lastP, ds.lastTarget = ds.lastGoodP, len(ds.frozen)
 		c.recordU(ds)
 		return
 	}
@@ -512,6 +532,7 @@ func (c *Controller) controlTick(ds *domainState, now sim.Time, pStat, pCtl floa
 	if degraded {
 		et *= c.res.EtInflation
 	}
+	ds.lastP, ds.lastEt = pStat, et
 	n := len(ds.d.Servers)
 
 	// F(Pk/PM): the SPCP closed form (Eq. 13) at horizon 1 — zero exactly
@@ -543,6 +564,7 @@ func (c *Controller) controlTick(ds *domainState, now sim.Time, pStat, pCtl floa
 		// grow until a fresh sample proves the demand receded.
 		nfreeze = len(ds.frozen)
 	}
+	ds.lastTarget = nfreeze
 	if nfreeze == 0 {
 		// No imminent violation: release everything.
 		c.unfreezeAll(ds)
@@ -657,7 +679,7 @@ func (c *Controller) freeze(ds *domainState, id cluster.ServerID) {
 		op.cancelled = true
 		delete(ds.pending, id)
 	}
-	if err := c.api.Freeze(id); err != nil {
+	if err := c.callFreezeAPI(ds, id, false); err != nil {
 		ds.stats.APIErrors++
 		ds.consecAPIErr++
 		c.scheduleRetry(ds, id, false, 0)
@@ -673,7 +695,7 @@ func (c *Controller) unfreeze(ds *domainState, id cluster.ServerID) {
 		op.cancelled = true
 		delete(ds.pending, id)
 	}
-	if err := c.api.Unfreeze(id); err != nil {
+	if err := c.callFreezeAPI(ds, id, true); err != nil {
 		ds.stats.APIErrors++
 		ds.consecAPIErr++
 		c.scheduleRetry(ds, id, true, 0)

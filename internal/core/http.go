@@ -112,19 +112,11 @@ func (c *Controller) Healthz() Health {
 	for _, ds := range c.domains {
 		dh := DomainHealth{
 			Name:                 ds.d.Name,
-			State:                HealthOK,
+			State:                ds.health(),
 			LastSampleAgeMin:     -1,
 			DarkIntervals:        ds.dark,
 			ConsecutiveAPIErrors: ds.consecAPIErr,
 			Frozen:               len(ds.frozen),
-		}
-		switch {
-		case !ds.haveGood:
-			dh.State = HealthNoData
-		case ds.failSafe:
-			dh.State = HealthFailSafe
-		case ds.dark > 0:
-			dh.State = HealthDegraded
 		}
 		if ds.haveGood {
 			dh.LastSampleAgeMin = now.Sub(ds.lastGoodAt).Minutes()

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// stepMinutes advances the controller n control ticks, one simulated minute
+// apart.
+func stepMinutes(ctl *Controller, n int) {
+	for i := 0; i < n; i++ {
+		ctl.Step(sim.Time(sim.Duration(i) * sim.Minute))
+	}
+}
+
+func TestJournalRecordsFreezeDecision(t *testing.T) {
+	reader := uniformReader(10, 110) // 1100 W on a 1000 W budget
+	api := newFakeAPI()
+	ctl := newTestController(t, reader, api, 0.05)
+	journal := obs.NewJournal(16)
+	ctl.Instrument(nil, journal)
+
+	ctl.Step(0)
+	evs := journal.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("journal has %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Domain != "grp" || ev.Action != "freeze" {
+		t.Errorf("event = %+v, want domain grp action freeze", ev)
+	}
+	if ev.Froze == 0 || ev.Frozen == 0 || ev.TargetFrozen == 0 {
+		t.Errorf("freeze counts missing: %+v", ev)
+	}
+	if ev.PNorm < 1.09 || ev.PNorm > 1.11 {
+		t.Errorf("PNorm = %v, want ≈1.1", ev.PNorm)
+	}
+	if ev.PowerW < 1099 || ev.PowerW > 1101 {
+		t.Errorf("PowerW = %v, want ≈1100", ev.PowerW)
+	}
+	if ev.Et != 0.05 {
+		t.Errorf("Et = %v, want 0.05", ev.Et)
+	}
+	if ev.Health != HealthOK {
+		t.Errorf("Health = %q, want ok", ev.Health)
+	}
+	if ev.Transition != HealthNoData+"->"+HealthOK {
+		t.Errorf("Transition = %q, want no-data->ok", ev.Transition)
+	}
+}
+
+func TestJournalActionClassification(t *testing.T) {
+	reader := uniformReader(10, 110)
+	api := newFakeAPI()
+	ctl := newTestController(t, reader, api, 0.05)
+	journal := obs.NewJournal(16)
+	ctl.Instrument(nil, journal)
+
+	ctl.Step(0) // over budget → freeze
+	for id := range reader.servers {
+		reader.servers[id] = 60 // 600 W, far under budget → unfreeze
+	}
+	ctl.Step(sim.Time(sim.Minute))
+	evs := journal.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("journal has %d events, want 2", len(evs))
+	}
+	if evs[0].Action != "freeze" {
+		t.Errorf("tick 0 action = %q, want freeze", evs[0].Action)
+	}
+	if evs[1].Action != "unfreeze" || evs[1].Unfroze == 0 {
+		t.Errorf("tick 1 = %+v, want unfreeze", evs[1])
+	}
+}
+
+func TestJournalSkipNoData(t *testing.T) {
+	reader := &fakeReader{down: true}
+	ctl := newTestController(t, reader, newFakeAPI(), 0.05)
+	journal := obs.NewJournal(16)
+	ctl.Instrument(nil, journal)
+
+	ctl.Step(0)
+	evs := journal.Snapshot()
+	if len(evs) != 1 || evs[0].Action != "skip-no-data" {
+		t.Fatalf("events = %+v, want one skip-no-data", evs)
+	}
+	if evs[0].Health != HealthNoData {
+		t.Errorf("Health = %q, want no-data", evs[0].Health)
+	}
+}
+
+func TestJournalFailSafeTransition(t *testing.T) {
+	reader := uniformReader(10, 90)
+	ctl := newTestController(t, reader, newFakeAPI(), 0.05)
+	journal := obs.NewJournal(64)
+	ctl.Instrument(nil, journal)
+
+	ctl.Step(0) // healthy baseline
+	reader.down = true
+	stepped := 1
+	// Default FailSafeAfter is 5 dark intervals; walk well past it.
+	for i := 1; i <= 8; i++ {
+		ctl.Step(sim.Time(sim.Duration(i) * sim.Minute))
+		stepped++
+	}
+	evs := journal.Snapshot()
+	if len(evs) != stepped {
+		t.Fatalf("journal has %d events, want %d", len(evs), stepped)
+	}
+	var sawDegraded, sawFailSafe bool
+	for _, ev := range evs {
+		if ev.Health == HealthDegraded && ev.Degraded {
+			sawDegraded = true
+		}
+		if ev.Action == "hold-failsafe" {
+			sawFailSafe = true
+			if ev.Health != HealthFailSafe {
+				t.Errorf("hold-failsafe with health %q", ev.Health)
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("no degraded event recorded before fail-safe")
+	}
+	if !sawFailSafe {
+		t.Error("no hold-failsafe event recorded")
+	}
+	var trans []string
+	for _, ev := range evs {
+		if ev.Transition != "" {
+			trans = append(trans, ev.Transition)
+		}
+	}
+	joined := strings.Join(trans, " ")
+	if !strings.Contains(joined, HealthDegraded+"->"+HealthFailSafe) {
+		t.Errorf("transitions %v missing degraded->failsafe", trans)
+	}
+}
+
+func TestControllerMetricsExposition(t *testing.T) {
+	reader := uniformReader(10, 110)
+	api := newFakeAPI()
+	ctl := newTestController(t, reader, api, 0.05)
+	reg := obs.NewRegistry()
+	ctl.Instrument(reg, nil)
+
+	stepMinutes(ctl, 3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ampere_ticks_total{domain="grp"} 3`,
+		`ampere_freeze_ops_total{domain="grp"} `,
+		`ampere_frozen_servers{domain="grp"} `,
+		`ampere_health_state{domain="grp"} 0`,
+		"ampere_tick_duration_seconds_count 3",
+		`ampere_api_call_duration_seconds_count{op="freeze"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The scrape and the operator JSON API must agree: both read DomainStats.
+	st := ctl.Status()[0]
+	if st.Ticks != 3 {
+		t.Fatalf("Status Ticks = %d, want 3", st.Ticks)
+	}
+	if !strings.Contains(out, `ampere_violations_total{domain="grp"} `+
+		jsonNumber(st.Violations)) {
+		t.Errorf("scrape and Status disagree on violations:\n%s", out)
+	}
+}
+
+func jsonNumber(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestEventsServedLive drives the controller while the journal handler is
+// mounted, the way cmd/powermon serves GET /events.
+func TestEventsServedLive(t *testing.T) {
+	reader := uniformReader(10, 110)
+	ctl := newTestController(t, reader, newFakeAPI(), 0.05)
+	journal := obs.NewJournal(8)
+	ctl.Instrument(nil, journal)
+	srv := httptest.NewServer(journal.Handler())
+	defer srv.Close()
+
+	stepMinutes(ctl, 12) // more ticks than capacity: the ring must wrap
+
+	resp, err := srv.Client().Get(srv.URL + "/?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []obs.Event
+	if err := json.Unmarshal(body, &evs); err != nil {
+		t.Fatalf("GET /events not JSON: %v: %s", err, body)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[len(evs)-1].Seq != 11 {
+		t.Errorf("newest Seq = %d, want 11", evs[len(evs)-1].Seq)
+	}
+	if got := resp.Header.Get("X-Journal-Total"); got != "12" {
+		t.Errorf("X-Journal-Total = %q, want 12", got)
+	}
+	for _, ev := range evs {
+		if ev.Domain != "grp" || ev.SimTime == "" {
+			t.Errorf("malformed live event: %+v", ev)
+		}
+	}
+}
+
+// TestUninstrumentedUnchanged pins the nil-instrumentation fast path: a
+// controller without Instrument behaves identically and never allocates
+// observability state.
+func TestUninstrumentedUnchanged(t *testing.T) {
+	reader := uniformReader(10, 110)
+	a1, a2 := newFakeAPI(), newFakeAPI()
+	plain := newTestController(t, reader, a1, 0.05)
+	inst := newTestController(t, reader, a2, 0.05)
+	inst.Instrument(obs.NewRegistry(), obs.NewJournal(16))
+
+	stepMinutes(plain, 5)
+	stepMinutes(inst, 5)
+
+	ps, is := plain.Stats(0), inst.Stats(0)
+	if ps.FreezeOps != is.FreezeOps || ps.Ticks != is.Ticks ||
+		ps.ControlledTicks != is.ControlledTicks {
+		t.Errorf("instrumentation changed behavior: plain %+v vs instrumented %+v", ps, is)
+	}
+	if a1.ops != a2.ops {
+		t.Errorf("API call counts differ: %d vs %d", a1.ops, a2.ops)
+	}
+}

@@ -141,12 +141,7 @@ func (c *Controller) scheduleRetry(ds *domainState, id cluster.ServerID, unfreez
 			return
 		}
 		ds.stats.Retries++
-		var err error
-		if unfreeze {
-			err = c.api.Unfreeze(id)
-		} else {
-			err = c.api.Freeze(id)
-		}
+		err := c.callFreezeAPI(ds, id, unfreeze)
 		if err != nil {
 			ds.stats.APIErrors++
 			ds.consecAPIErr++

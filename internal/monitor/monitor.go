@@ -9,8 +9,10 @@ package monitor
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tsdb"
 )
@@ -76,6 +78,41 @@ type Monitor struct {
 
 	handle   *sim.Handle
 	onSample []func(now sim.Time)
+	met      *metrics
+}
+
+// metrics is the monitor's optional observability wiring: atomic counters
+// incremented on the sweep path, so scrapes from another goroutine never
+// race the simulation.
+type metrics struct {
+	sweeps      *obs.Counter
+	dropped     *obs.Counter
+	samples     *obs.Counter
+	writeErrors *obs.Counter
+	sweepDur    *obs.Histogram
+}
+
+// Instrument registers the monitor's metrics on reg (nil is a no-op):
+//
+//	monitor_sweeps_total               counter
+//	monitor_sweeps_dropped_total       counter
+//	monitor_samples_ingested_total     counter
+//	monitor_store_write_errors_total   counter
+//	monitor_sweep_duration_seconds     summary
+//
+// Call before Start.
+func (m *Monitor) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = &metrics{
+		sweeps:      reg.Counter("monitor_sweeps_total", "Completed sampling sweeps."),
+		dropped:     reg.Counter("monitor_sweeps_dropped_total", "Sweeps lost to injected collector outages."),
+		samples:     reg.Counter("monitor_samples_ingested_total", "Per-server power samples taken."),
+		writeErrors: reg.Counter("monitor_store_write_errors_total", "TSDB writes rejected by the store."),
+		sweepDur: reg.Histogram("monitor_sweep_duration_seconds",
+			"Wall-clock duration of one sampling sweep.", 1e-7, 10, 400),
+	}
 }
 
 // New builds a monitor. db may be nil, in which case only the in-memory
@@ -135,7 +172,14 @@ func (m *Monitor) OnSample(fn func(now sim.Time)) { m.onSample = append(m.onSamp
 func (m *Monitor) Sweep(now sim.Time) {
 	if m.dropRNG != nil && m.dropRNG.Float64() < m.cfg.SweepDropRate {
 		m.dropped++
+		if m.met != nil {
+			m.met.dropped.Inc()
+		}
 		return
+	}
+	var start time.Time
+	if m.met != nil {
+		start = time.Now()
 	}
 	spec := m.c.Spec
 	dcTotal := 0.0
@@ -165,6 +209,11 @@ func (m *Monitor) Sweep(now sim.Time) {
 	m.lastTime = now
 	m.haveSample = true
 	m.sweeps++
+	if m.met != nil {
+		m.met.sweeps.Inc()
+		m.met.samples.Add(int64(len(m.c.Servers)))
+		m.met.sweepDur.Observe(time.Since(start).Seconds())
+	}
 	for _, fn := range m.onSample {
 		fn(now)
 	}
@@ -176,6 +225,9 @@ func (m *Monitor) Sweep(now sim.Time) {
 func (m *Monitor) append(name string, t sim.Time, v float64) {
 	if err := m.store.Append(name, t, v); err != nil {
 		m.writeErrors++
+		if m.met != nil {
+			m.met.writeErrors.Inc()
+		}
 	}
 }
 

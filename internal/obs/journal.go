@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Event is one control decision: what the controller observed for a domain
+// on one RHC tick and what it did about it. Events are plain data — the
+// journal never interprets them — and every float is sanitized by the
+// producer (no NaN/Inf) so the JSON encoding cannot fail.
+type Event struct {
+	// Seq is the journal-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// SimMS is the simulated timestamp in milliseconds; SimTime is the same
+	// instant formatted as sim.Time.String().
+	SimMS   int64  `json:"sim_ms"`
+	SimTime string `json:"sim_time"`
+	// Domain names the controlled power domain (e.g. "row/0").
+	Domain string `json:"domain"`
+	// PowerW is the observed (or, degraded, last-known-good) domain power;
+	// PNorm is the same normalized to the budget; Et is the demand-increase
+	// threshold the control law used this tick.
+	PowerW float64 `json:"power_w"`
+	PNorm  float64 `json:"p_norm"`
+	Et     float64 `json:"et"`
+	// Action summarizes the tick: "idle" (no freeze target), "freeze",
+	// "unfreeze", "swap" (both directions), "hold" (target met, no ops),
+	// "hold-failsafe", or "skip-no-data".
+	Action string `json:"action"`
+	// TargetFrozen is the freeze target ⌊F(P/PM)·n⌋ after degraded-mode
+	// clamping; Frozen is the realized frozen-set size after the tick.
+	TargetFrozen int `json:"target_frozen"`
+	Frozen       int `json:"frozen"`
+	// Froze/Unfroze count successful freeze/unfreeze operations this tick;
+	// APIErrors counts failed scheduler calls this tick.
+	Froze     int64 `json:"froze"`
+	Unfroze   int64 `json:"unfroze"`
+	APIErrors int64 `json:"api_errors"`
+	// APILatencyMS is the wall-clock time spent inside scheduler API calls
+	// this tick; TickMS is the wall-clock duration of the whole domain tick.
+	APILatencyMS float64 `json:"api_latency_ms"`
+	TickMS       float64 `json:"tick_ms"`
+	// Health is the domain's health state after the tick (core.Health*);
+	// Transition, when non-empty, records a state change as "from->to".
+	Health     string `json:"health"`
+	Transition string `json:"transition,omitempty"`
+	// Degraded marks ticks flown on last-known-good data.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// DefaultJournalCap is the ring capacity used when NewJournal is given a
+// non-positive one: about 34 simulated hours of one-minute ticks for the
+// default 2-row topology.
+const DefaultJournalCap = 4096
+
+// Journal is a bounded ring buffer of decision events. Appends are O(1) and
+// never allocate once the ring is full; when capacity is reached the oldest
+// event is overwritten. All methods are safe for concurrent use.
+type Journal struct {
+	mu    sync.Mutex
+	buf   []Event
+	w     int    // next write position once the ring is full
+	total uint64 // events ever appended; also the next sequence number
+	cap   int
+}
+
+// NewJournal returns a journal retaining the last capacity events
+// (DefaultJournalCap when capacity is non-positive).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Append records ev, assigning its sequence number, and returns it.
+func (j *Journal) Append(ev Event) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev.Seq = j.total
+	j.total++
+	if len(j.buf) < j.cap {
+		j.buf = append(j.buf, ev)
+	} else {
+		j.buf[j.w] = ev
+		j.w = (j.w + 1) % j.cap
+	}
+	return ev.Seq
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.buf)
+}
+
+// Cap returns the ring capacity.
+func (j *Journal) Cap() int { return j.cap }
+
+// Total returns the number of events ever appended (retained or evicted).
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Snapshot returns every retained event, oldest first.
+func (j *Journal) Snapshot() []Event { return j.Last(-1) }
+
+// Last returns the most recent n retained events in chronological order
+// (all of them when n is negative or exceeds the retained count).
+func (j *Journal) Last(n int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 || n > len(j.buf) {
+		n = len(j.buf)
+	}
+	out := make([]Event, n)
+	// Oldest retained event sits at j.w once the ring has wrapped, at 0
+	// before; the newest is just before j.w (mod cap).
+	start := 0
+	if len(j.buf) == j.cap {
+		start = j.w
+	}
+	skip := len(j.buf) - n
+	for i := 0; i < n; i++ {
+		out[i] = j.buf[(start+skip+i)%len(j.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes every retained event, oldest first, one JSON object per
+// line — the offline-analysis export format.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, ev := range j.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: journal export: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler serves the journal:
+//
+//	GET /events?n=256          → JSON array of the last n events (oldest
+//	                             first; n defaults to 256, -1 = everything)
+//	GET /events?format=jsonl   → the retained window as JSONL
+//
+// The response also carries X-Journal-Total, the count of events ever
+// appended, so a scraper can detect gaps after ring eviction.
+func (j *Journal) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("X-Journal-Total", strconv.FormatUint(j.Total(), 10))
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = j.WriteJSONL(w)
+			return
+		}
+		// Marshal before touching the status line so an encoding failure
+		// can still become a clean 500.
+		buf, err := json.Marshal(j.Last(n))
+		if err != nil {
+			http.Error(w, "response encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(buf, '\n'))
+	})
+}

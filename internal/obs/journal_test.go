@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalWraparound(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Domain: fmt.Sprintf("d%d", i)})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", j.Total())
+	}
+	got := j.Snapshot()
+	for i, ev := range got {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("d%d", wantSeq); ev.Domain != want {
+			t.Errorf("event %d: Domain = %q, want %q", i, ev.Domain, want)
+		}
+	}
+}
+
+func TestJournalLast(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Append(Event{})
+	}
+	cases := []struct {
+		n        int
+		wantLen  int
+		firstSeq uint64
+	}{
+		{2, 2, 3},
+		{5, 5, 0},
+		{100, 5, 0},
+		{-1, 5, 0},
+		{0, 0, 0},
+	}
+	for _, tc := range cases {
+		got := j.Last(tc.n)
+		if len(got) != tc.wantLen {
+			t.Errorf("Last(%d): len = %d, want %d", tc.n, len(got), tc.wantLen)
+			continue
+		}
+		if tc.wantLen > 0 && got[0].Seq != tc.firstSeq {
+			t.Errorf("Last(%d): first Seq = %d, want %d", tc.n, got[0].Seq, tc.firstSeq)
+		}
+	}
+}
+
+func TestJournalDefaultCap(t *testing.T) {
+	if got := NewJournal(0).Cap(); got != DefaultJournalCap {
+		t.Errorf("Cap = %d, want %d", got, DefaultJournalCap)
+	}
+}
+
+// TestJournalConcurrentAppend is the -race proof: appenders and readers share
+// the ring without torn events, and no sequence number is lost.
+func TestJournalConcurrentAppend(t *testing.T) {
+	j := NewJournal(64)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Append(Event{Domain: fmt.Sprintf("w%d", w), PowerW: float64(i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			evs := j.Last(16)
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Errorf("Last not chronological: %d after %d", evs[i].Seq, evs[i-1].Seq)
+					return
+				}
+			}
+			if len(evs) == 16 {
+				return // saw a full window under concurrency; good enough
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if j.Total() != writers*perWriter {
+		t.Errorf("Total = %d, want %d", j.Total(), writers*perWriter)
+	}
+	if j.Len() != 64 {
+		t.Errorf("Len = %d, want 64", j.Len())
+	}
+}
+
+func TestJournalWriteJSONL(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Domain: "row/0", PNorm: 0.9, Action: "hold"})
+	}
+	var b strings.Builder
+	if err := j.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var seqs []uint64
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line not valid JSON: %v: %q", err, sc.Text())
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	if want := []uint64{2, 3, 4, 5}; fmt.Sprint(seqs) != fmt.Sprint(want) {
+		t.Errorf("JSONL seqs = %v, want %v", seqs, want)
+	}
+}
+
+func TestJournalHandler(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Append(Event{Domain: "row/1", Action: "freeze"})
+	}
+	srv := httptest.NewServer(j.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, map[string][]string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/?n=2")
+	if code != 200 {
+		t.Fatalf("GET ?n=2 = %d", code)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if len(evs) != 2 || evs[0].Seq != 3 || evs[1].Seq != 4 {
+		t.Errorf("?n=2 returned %+v", evs)
+	}
+	if got := hdr["X-Journal-Total"]; len(got) != 1 || got[0] != "5" {
+		t.Errorf("X-Journal-Total = %v, want [5]", got)
+	}
+
+	code, body, hdr = get("/?format=jsonl")
+	if code != 200 {
+		t.Fatalf("GET ?format=jsonl = %d", code)
+	}
+	if ct := hdr["Content-Type"]; len(ct) != 1 || ct[0] != "application/x-ndjson" {
+		t.Errorf("jsonl content type = %v", ct)
+	}
+	if lines := strings.Count(body, "\n"); lines != 5 {
+		t.Errorf("jsonl lines = %d, want 5", lines)
+	}
+
+	if code, _, _ = get("/?n=banana"); code != 400 {
+		t.Errorf("bad n = %d, want 400", code)
+	}
+
+	resp, err := srv.Client().Post(srv.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("POST /events = %d, want 405", resp.StatusCode)
+	}
+}

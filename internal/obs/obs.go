@@ -1,0 +1,84 @@
+// Package obs is the control plane's observability spine: a concurrency-safe
+// metrics registry rendering Prometheus text exposition format (counters,
+// gauges, and label-capable latency histograms built on stats.LogHistogram),
+// and a bounded ring-buffer decision journal recording one structured event
+// per controller tick per domain.
+//
+// The registry is stdlib-only and deliberately small: metric values are
+// atomics, so hot paths (a monitor sweep, a scheduler freeze call) pay one
+// atomic add per update, and scrapes never block the simulation. Components
+// expose an optional Instrument(*Registry) hook; a nil registry leaves them
+// exactly as fast as before. Dynamic values (TSDB series counts, per-domain
+// controller counters) are exported through collectors evaluated at scrape
+// time under the owning component's own lock.
+//
+// The journal answers the operator question the paper's team asked for
+// months of production operation (§4): what did the controller see, and what
+// did it do about it? Every tick appends an Event; GET /events serves the
+// most recent ones as JSON and WriteJSONL exports the retained window for
+// offline analysis.
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MetricType enumerates the Prometheus exposition types the registry
+// renders.
+type MetricType int
+
+const (
+	// TypeCounter is a monotonically increasing value.
+	TypeCounter MetricType = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeSummary is a distribution rendered as quantiles + _sum + _count.
+	TypeSummary
+)
+
+// String returns the exposition-format type name.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeSummary:
+		return "summary"
+	default:
+		return fmt.Sprintf("MetricType(%d)", int(t))
+	}
+}
+
+// validName reports whether s is a legal Prometheus metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons are reserved for recording rules, so the
+// registry rejects them in label names but allows them in metric names).
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case r == ':' && !label:
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -10,8 +10,10 @@ package scheduler
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -106,6 +108,7 @@ type Scheduler struct {
 	running map[cluster.ServerID][]*runningJob
 
 	stats Stats
+	met   *metrics
 
 	onPlace    func(j *workload.Job, s *cluster.Server)
 	onComplete func(j *workload.Job, s *cluster.Server)
@@ -155,6 +158,52 @@ func New(eng *sim.Engine, c *cluster.Cluster, seed uint64, policy Policy) *Sched
 		sv.OnSpeedChange(s.speedChanged)
 	}
 	return s
+}
+
+// metrics is the scheduler's optional observability wiring. All values are
+// atomics updated on the hot path, so concurrent scrapes never race the
+// simulation goroutine.
+type metrics struct {
+	freezeDur   *obs.Histogram
+	unfreezeDur *obs.Histogram
+	churn       *obs.Counter
+	queueLen    *obs.Gauge
+	submitted   *obs.Counter
+	placed      *obs.Counter
+	completed   *obs.Counter
+	killed      *obs.Counter
+}
+
+// Instrument registers the scheduler's metrics on reg (nil is a no-op):
+//
+//	scheduler_freeze_api_duration_seconds{op}  summary, Freeze/Unfreeze latency
+//	scheduler_candidate_churn_total            counter, candidate-list adds+removes
+//	scheduler_queue_length                     gauge, jobs waiting for capacity
+//	scheduler_jobs_submitted_total             counter
+//	scheduler_jobs_placed_total                counter
+//	scheduler_jobs_completed_total             counter
+//	scheduler_jobs_killed_total                counter
+//
+// Call before the simulation starts.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	opDur := reg.HistogramVec("scheduler_freeze_api_duration_seconds",
+		"Wall-clock latency of scheduler Freeze/Unfreeze operations.",
+		1e-8, 1, 300, "op")
+	s.met = &metrics{
+		freezeDur:   opDur.With("freeze"),
+		unfreezeDur: opDur.With("unfreeze"),
+		churn: reg.Counter("scheduler_candidate_churn_total",
+			"Adds and removes on the per-row schedulable candidate lists."),
+		queueLen:  reg.Gauge("scheduler_queue_length", "Jobs waiting for capacity."),
+		submitted: reg.Counter("scheduler_jobs_submitted_total", "Jobs submitted."),
+		placed:    reg.Counter("scheduler_jobs_placed_total", "Jobs placed on a server."),
+		completed: reg.Counter("scheduler_jobs_completed_total", "Jobs completed."),
+		killed: reg.Counter("scheduler_jobs_killed_total",
+			"Jobs killed by server failures (breaker trips)."),
+	}
 }
 
 // SetRowChooser overrides the row-selection step (nil restores the default
@@ -234,6 +283,9 @@ func (s *Scheduler) addAvail(sv *cluster.Server) {
 	row := s.avail[sv.Row]
 	s.pos[sv.ID] = len(row)
 	s.avail[sv.Row] = append(row, sv)
+	if s.met != nil {
+		s.met.churn.Inc()
+	}
 }
 
 func (s *Scheduler) removeAvail(sv *cluster.Server) {
@@ -248,6 +300,9 @@ func (s *Scheduler) removeAvail(sv *cluster.Server) {
 	s.pos[moved.ID] = i
 	s.avail[sv.Row] = row[:last]
 	s.pos[sv.ID] = -1
+	if s.met != nil {
+		s.met.churn.Inc()
+	}
 }
 
 func (s *Scheduler) refreshAvail(sv *cluster.Server) {
@@ -264,6 +319,11 @@ func (s *Scheduler) AvailableInRow(r int) int { return len(s.avail[r]) }
 // Freeze implements FreezeAPI. Freezing an already-frozen server is an
 // error so the controller's bookkeeping bugs surface immediately.
 func (s *Scheduler) Freeze(id cluster.ServerID) error {
+	if s.met != nil {
+		defer func(start time.Time) {
+			s.met.freezeDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	if int(id) < 0 || int(id) >= len(s.c.Servers) {
 		return fmt.Errorf("scheduler: freeze of unknown server %d", id)
 	}
@@ -278,6 +338,11 @@ func (s *Scheduler) Freeze(id cluster.ServerID) error {
 
 // Unfreeze implements FreezeAPI.
 func (s *Scheduler) Unfreeze(id cluster.ServerID) error {
+	if s.met != nil {
+		defer func(start time.Time) {
+			s.met.unfreezeDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	if int(id) < 0 || int(id) >= len(s.c.Servers) {
 		return fmt.Errorf("scheduler: unfreeze of unknown server %d", id)
 	}
@@ -299,6 +364,9 @@ var _ FreezeAPI = (*Scheduler)(nil)
 // would block every job behind them in the FIFO queue.
 func (s *Scheduler) Submit(j *workload.Job) {
 	s.stats.Submitted++
+	if s.met != nil {
+		s.met.submitted.Inc()
+	}
 	if j.Containers < 1 || j.Containers > s.c.Spec.Containers {
 		s.stats.Rejected++
 		return
@@ -317,6 +385,9 @@ func (s *Scheduler) enqueue(j *workload.Job) {
 	s.stats.Queued++
 	s.enqueuedAt[j.ID] = s.eng.Now()
 	s.queue = append(s.queue, j)
+	if s.met != nil {
+		s.met.queueLen.Set(float64(s.QueueLen()))
+	}
 }
 
 func (s *Scheduler) drainQueue() {
@@ -339,6 +410,9 @@ func (s *Scheduler) drainQueue() {
 		n := copy(s.queue, s.queue[s.queueHead:])
 		s.queue = s.queue[:n]
 		s.queueHead = 0
+	}
+	if s.met != nil {
+		s.met.queueLen.Set(float64(s.QueueLen()))
 	}
 }
 
@@ -493,6 +567,9 @@ func (s *Scheduler) place(j *workload.Job, sv *cluster.Server) {
 	s.busyRow[sv.Row] += j.Containers
 	s.refreshAvail(sv)
 	s.stats.Placed++
+	if s.met != nil {
+		s.met.placed.Inc()
+	}
 
 	rj := &runningJob{
 		job:         j,
@@ -537,6 +614,9 @@ func (s *Scheduler) complete(rj *runningJob, now sim.Time) {
 	s.busyRow[sv.Row] -= rj.job.Containers
 	s.refreshAvail(sv)
 	s.stats.Completed++
+	if s.met != nil {
+		s.met.completed.Inc()
+	}
 	if rj.job.Work > 0 {
 		s.stretchHist.Add(float64(now.Sub(rj.startedAt)) / float64(rj.job.Work))
 	}
@@ -602,6 +682,9 @@ func (s *Scheduler) FailServer(id cluster.ServerID) error {
 		sv.Release(rj.job.Containers, rj.job.CPU)
 		s.busyRow[sv.Row] -= rj.job.Containers
 		s.stats.Killed++
+		if s.met != nil {
+			s.met.killed.Inc()
+		}
 	}
 	delete(s.running, sv.ID)
 	sv.SetFailed(true)

@@ -15,8 +15,9 @@ type LogHistogram struct {
 	scale    float64 // buckets per unit of ln(v)
 	counts   []int64
 	n        int64
-	under    int64 // values below min (counted at min)
-	over     int64 // values above max (counted at max)
+	sum      float64 // exact sum of recorded values (not bucket-quantized)
+	under    int64   // values below min (counted at min)
+	over     int64   // values above max (counted at max)
 }
 
 // NewLogHistogram covers [min, max] with the given number of buckets;
@@ -44,6 +45,7 @@ func (h *LogHistogram) Add(v float64) {
 		return
 	}
 	h.n++
+	h.sum += v
 	switch {
 	case v < h.min:
 		h.under++
@@ -63,6 +65,11 @@ func (h *LogHistogram) Add(v float64) {
 
 // Count returns the number of recorded values.
 func (h *LogHistogram) Count() int64 { return h.n }
+
+// Sum returns the exact sum of the recorded values (unlike Mean, which is
+// quantized to bucket midpoints). Metric exposition needs it for the
+// Prometheus summary `_sum` line.
+func (h *LogHistogram) Sum() float64 { return h.sum }
 
 // Quantile returns an estimate of the q-th quantile (q in [0, 1]): the
 // geometric midpoint of the bucket containing the target rank.

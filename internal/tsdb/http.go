@@ -72,10 +72,15 @@ func parseTime(s string, def sim.Time) (sim.Time, error) {
 	return sim.Time(ms), nil
 }
 
+// writeJSON marshals v before touching the response, so an encoding failure
+// (e.g. a NaN sample value, which encoding/json rejects) becomes a clean 500
+// instead of a truncated 200 with the status line already committed.
 func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	// Encoding in-memory values cannot fail for these types; ignore the
-	// network error, which the client observes anyway.
-	_ = enc.Encode(v)
+	w.Write(append(buf, '\n'))
 }

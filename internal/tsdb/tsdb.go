@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +27,39 @@ type DB struct {
 	mu        sync.RWMutex
 	series    map[string][]Point
 	retention int // max points kept per series; 0 = unlimited
+	met       *metrics
+}
+
+// metrics is the DB's optional observability wiring.
+type metrics struct {
+	appends      *obs.Counter
+	appendErrors *obs.Counter
+	queryDur     *obs.Histogram
+}
+
+// Instrument registers the database's metrics on reg (nil is a no-op):
+//
+//	tsdb_appends_total            counter
+//	tsdb_append_errors_total      counter (out-of-order rejections)
+//	tsdb_series                   gauge, collected at scrape time
+//	tsdb_points                   gauge, total retained points
+//	tsdb_query_duration_seconds   summary, wall-clock per Query
+//
+// Call before serving concurrent traffic.
+func (db *DB) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	db.met = &metrics{
+		appends:      reg.Counter("tsdb_appends_total", "Samples appended across all series."),
+		appendErrors: reg.Counter("tsdb_append_errors_total", "Appends rejected (out-of-order timestamps)."),
+		queryDur: reg.Histogram("tsdb_query_duration_seconds",
+			"Wall-clock duration of one range query.", 1e-8, 10, 400),
+	}
+	reg.GaugeFunc("tsdb_series", "Retained series count.",
+		func() float64 { return float64(db.SeriesCount()) })
+	reg.GaugeFunc("tsdb_points", "Total retained points across all series.",
+		func() float64 { return float64(db.PointCount()) })
 }
 
 // New returns a DB that retains at most retentionPoints per series
@@ -41,7 +76,13 @@ func (db *DB) Append(name string, t sim.Time, v float64) error {
 	defer db.mu.Unlock()
 	pts := db.series[name]
 	if n := len(pts); n > 0 && pts[n-1].T > t {
+		if db.met != nil {
+			db.met.appendErrors.Inc()
+		}
 		return fmt.Errorf("tsdb: out-of-order append to %q: %v after %v", name, t, pts[n-1].T)
+	}
+	if db.met != nil {
+		db.met.appends.Inc()
 	}
 	pts = append(pts, Point{T: t, V: v})
 	if db.retention > 0 && len(pts) > db.retention {
@@ -60,6 +101,11 @@ func (db *DB) Append(name string, t sim.Time, v float64) error {
 // Query returns the points of the named series with from ≤ T ≤ to, in time
 // order. The result is a copy.
 func (db *DB) Query(name string, from, to sim.Time) []Point {
+	if db.met != nil {
+		defer func(start time.Time) {
+			db.met.queryDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	pts := db.series[name]
@@ -97,6 +143,24 @@ func (db *DB) Len(name string) int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.series[name])
+}
+
+// SeriesCount returns the number of retained series.
+func (db *DB) SeriesCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// PointCount returns the total number of retained points across series.
+func (db *DB) PointCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, pts := range db.series {
+		n += len(pts)
+	}
+	return n
 }
 
 // Names returns all series names, sorted.
