@@ -1,8 +1,10 @@
 # Tier-1 is the merge gate: everything must build, lint clean (gofmt + vet),
-# and pass the full suite under the race detector.
-.PHONY: tier1 build lint vet test race fuzz chaos
+# pass the full suite under the race detector, and pass the experiment +
+# runner suites with shuffled test order (order-dependence is how shared
+# state between parallel run units would first show up).
+.PHONY: tier1 build lint vet test race race-shuffle fuzz chaos bench-runner
 
-tier1: build lint race
+tier1: build lint race race-shuffle
 
 build:
 	go build ./...
@@ -23,6 +25,11 @@ test:
 race:
 	go test -race ./...
 
+# The parallel fan-out suites, shuffled: any cross-unit state dependence
+# fails here before it can corrupt merged experiment output.
+race-shuffle:
+	go test -race -shuffle=on ./internal/experiment/... ./internal/runner/...
+
 # Short live-fuzz pass over the two fuzz targets (the committed seed corpus
 # already replays in `make test`).
 fuzz:
@@ -32,3 +39,9 @@ fuzz:
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:
 	go run ./cmd/ampere-exp -exp chaos -quick
+
+# Records serial vs parallel wall-clock for the shrunken figure suite; on a
+# ≥4-core machine the parallel run should be ≥2× faster with byte-identical
+# results (parallel_test.go checks the identity half).
+bench-runner:
+	go test -run '^$$' -bench 'BenchmarkFigureSuite' -benchtime 1x ./internal/experiment/

@@ -5,35 +5,54 @@
 //
 //	ampere-exp -exp fig1|fig2|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|
 //	                table2|table3|spread|outage|ablations|all
-//	           [-quick] [-seed N] [-out dir]
+//	           [-quick] [-seed N] [-out dir] [-parallel N]
 //
 // -quick shrinks cluster sizes and time spans for a fast pass (the same
 // configurations the test suite and benchmarks use); the default sizes
 // follow the paper (400-server rows, 24-hour spans) and take a few minutes
 // in total. -out additionally writes plot-ready CSV series for the figure
 // experiments into the given directory.
+//
+// -parallel N fans independent runs — the selected experiments, and the
+// variants inside multi-run experiments (table2, table3, spread, outage,
+// chaos, ablations) — across up to N workers (default: the CPU count;
+// 1 restores the legacy serial path). Each run builds a fully isolated rig
+// from its own seed and its report is buffered and printed in the fixed
+// experiment order, so stdout is byte-identical at any -parallel value;
+// per-experiment timing goes to stderr as runs complete.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"time"
-
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
+
+// runCtx carries the shared CLI knobs into each experiment runner.
+type runCtx struct {
+	quick    bool
+	seed     uint64
+	outDir   string
+	parallel int
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1..fig12, table2, table3, all)")
 	quick := flag.Bool("quick", false, "shrunken fast configuration")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = per-experiment default)")
 	out := flag.String("out", "", "directory to also write plot-ready CSV series into")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent runs (1 = serial)")
 	flag.Parse()
 
-	runners := map[string]func(bool, uint64, string) error{
+	runners := map[string]func(io.Writer, runCtx) error{
 		"fig1":      runFig1,
 		"fig2":      runFig2,
 		"fig4":      runFig4,
@@ -64,13 +83,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	for _, id := range ids {
-		start := time.Now()
-		if err := runners[id](*quick, *seed, *out); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+	rc := runCtx{quick: *quick, seed: *seed, outDir: *out, parallel: *parallel}
+
+	// Each experiment renders into its own buffer; buffers are printed in
+	// the fixed order above, so stdout does not depend on completion order.
+	units := make([]runner.Unit[[]byte], len(ids))
+	for i, id := range ids {
+		id := id
+		units[i] = runner.Unit[[]byte]{Name: id, Run: func() ([]byte, error) {
+			var buf bytes.Buffer
+			if err := runners[id](&buf, rc); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}}
+	}
+	bufs, err := runner.Run(units, runner.Options{
+		Workers: rc.parallel,
+		OnDone: func(r runner.Report) {
+			switch {
+			case r.Skipped:
+				fmt.Fprintf(os.Stderr, "  [%s skipped]\n", r.Name)
+			case r.Err != nil:
+				fmt.Fprintf(os.Stderr, "  [%s failed after %.1fs: %v]\n", r.Name, r.Elapsed.Seconds(), r.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "  [%s completed in %.1fs]\n", r.Name, r.Elapsed.Seconds())
+			}
+		},
+	})
+	for _, b := range bufs {
+		if len(b) > 0 {
+			os.Stdout.Write(b)
+			fmt.Println()
 		}
-		fmt.Printf("  [%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -81,7 +130,8 @@ func pick(seed, def uint64) uint64 {
 	return def
 }
 
-// writeCSV saves a plot-ready CSV into outDir when -out is set.
+// writeCSV saves a plot-ready CSV into outDir when -out is set. Every
+// experiment writes distinct file names, so concurrent runs never collide.
 func writeCSV(outDir, name string, write func(w *os.File) error) error {
 	if outDir == "" {
 		return nil
@@ -100,265 +150,253 @@ func writeCSV(outDir, name string, write func(w *os.File) error) error {
 	return f.Close()
 }
 
-func runFig1(quick bool, seed uint64, outDir string) error {
+func runFig1(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig1()
-	if quick {
+	if rc.quick {
 		cfg.Rows, cfg.RowServers, cfg.Measure = 4, 80, 12*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig1(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig1(os.Stdout, res)
-	if err := writeCSV(outDir, "fig1.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return nil
+	experiment.FormatFig1(w, res)
+	return writeCSV(rc.outDir, "fig1.csv", func(w *os.File) error { return res.WriteCSV(w) })
 }
 
-func runFig2(quick bool, seed uint64, outDir string) error {
+func runFig2(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig2()
-	if quick {
+	if rc.quick {
 		cfg.RowServers, cfg.CorrSpan = 80, 12*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig2(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig2(os.Stdout, res)
+	experiment.FormatFig2(w, res)
 	return nil
 }
 
-func runFig4(quick bool, seed uint64, outDir string) error {
+func runFig4(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig4()
-	if quick {
+	if rc.quick {
 		cfg.RowServers, cfg.FreezeCount = 160, 32
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig4(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig4(os.Stdout, res)
-	if err := writeCSV(outDir, "fig4.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return nil
+	experiment.FormatFig4(w, res)
+	return writeCSV(rc.outDir, "fig4.csv", func(w *os.File) error { return res.WriteCSV(w) })
 }
 
-func runFig5(quick bool, seed uint64, outDir string) error {
+func runFig5(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig5()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 160
 		cfg.Cycles = 1
 		cfg.URatios = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig5(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig5(os.Stdout, res)
-	if err := writeCSV(outDir, "fig5.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return nil
+	experiment.FormatFig5(w, res)
+	return writeCSV(rc.outDir, "fig5.csv", func(w *os.File) error { return res.WriteCSV(w) })
 }
 
-func runFig7(quick bool, seed uint64, outDir string) error {
+func runFig7(w io.Writer, rc runCtx) error {
 	n := 500000
-	if quick {
+	if rc.quick {
 		n = 50000
 	}
-	experiment.FormatFig7(os.Stdout, experiment.RunFig7(pick(seed, 7), n))
+	experiment.FormatFig7(w, experiment.RunFig7(pick(rc.seed, 7), n))
 	return nil
 }
 
-func runFig8(quick bool, seed uint64, outDir string) error {
+func runFig8(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig8()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 160
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig8(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig8(os.Stdout, res)
-	if err := writeCSV(outDir, "fig8.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return nil
+	experiment.FormatFig8(w, res)
+	return writeCSV(rc.outDir, "fig8.csv", func(w *os.File) error { return res.WriteCSV(w) })
 }
 
-func runFig9(quick bool, seed uint64, outDir string) error {
+func runFig9(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig9()
-	if quick {
+	if rc.quick {
 		cfg.RowServers, cfg.Measure = 160, 12*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig9(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig9(os.Stdout, res)
+	experiment.FormatFig9(w, res)
 	return nil
 }
 
-func runFig10Table2(quick bool, seed uint64, outDir string) error {
+func runFig10Table2(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultTable2()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 160
 		cfg.Warmup = sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
 	res, err := experiment.RunTable2(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatTable2(os.Stdout, res)
-	fmt.Println()
-	experiment.FormatFig10(os.Stdout, res)
-	if err := writeCSV(outDir, "fig10_light.csv", func(w *os.File) error { return res.LightSer.WriteCSV(w) }); err != nil {
+	experiment.FormatTable2(w, res)
+	fmt.Fprintln(w)
+	experiment.FormatFig10(w, res)
+	if err := writeCSV(rc.outDir, "fig10_light.csv", func(w *os.File) error { return res.LightSer.WriteCSV(w) }); err != nil {
 		return err
 	}
-	if err := writeCSV(outDir, "fig10_heavy.csv", func(w *os.File) error { return res.HeavySer.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return nil
+	return writeCSV(rc.outDir, "fig10_heavy.csv", func(w *os.File) error { return res.HeavySer.WriteCSV(w) })
 }
 
-func runFig11(quick bool, seed uint64, outDir string) error {
+func runFig11(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig11()
-	if quick {
+	if rc.quick {
 		cfg.RowServers, cfg.ServiceServers = 80, 16
 		cfg.RequestsPerSecond = 60
 		cfg.Pretrain, cfg.Measure = 12*sim.Hour, sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig11(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig11(os.Stdout, res)
+	experiment.FormatFig11(w, res)
 	return nil
 }
 
-func runFig12(quick bool, seed uint64, outDir string) error {
+func runFig12(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultFig12()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 160
 		cfg.Warmup, cfg.Pretrain = sim.Hour, 8*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
 	res, err := experiment.RunFig12(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatFig12(os.Stdout, res)
-	if err := writeCSV(outDir, "fig12.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
-		return err
-	}
-	return nil
+	experiment.FormatFig12(w, res)
+	return writeCSV(rc.outDir, "fig12.csv", func(w *os.File) error { return res.WriteCSV(w) })
 }
 
-func runSpread(quick bool, seed uint64, outDir string) error {
+func runSpread(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultSpread()
-	if quick {
+	if rc.quick {
 		cfg.RowServers, cfg.Measure = 80, 8*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
 	rows, err := experiment.RunSpread(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatSpread(os.Stdout, rows)
+	experiment.FormatSpread(w, rows)
 	return nil
 }
 
-func runOutage(quick bool, seed uint64, outDir string) error {
+func runOutage(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultOutage()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 120
 		cfg.Pretrain, cfg.Measure = 8*sim.Hour, 8*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
 	rows, err := experiment.RunOutage(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatOutage(os.Stdout, rows)
+	experiment.FormatOutage(w, rows)
 	return nil
 }
 
-func runChaos(quick bool, seed uint64, outDir string) error {
+func runChaos(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultChaos()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 80
 		cfg.Pretrain, cfg.Measure = 6*sim.Hour, 12*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
 	res, err := experiment.RunChaos(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatChaos(os.Stdout, res)
+	experiment.FormatChaos(w, res)
 	return nil
 }
 
-func runAblations(quick bool, seed uint64, outDir string) error {
+func runAblations(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultAblation()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 120
 		cfg.Warmup, cfg.Pretrain, cfg.Measure = sim.Hour, 12*sim.Hour, 12*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
 
 	sel, err := experiment.RunSelectionAblation(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatAblation(os.Stdout, "freeze selection (§3.5)", sel)
+	experiment.FormatAblation(w, "freeze selection (§3.5)", sel)
 
 	rst, err := experiment.RunRStableAblation(cfg, nil)
 	if err != nil {
 		return err
 	}
-	experiment.FormatAblation(os.Stdout, "rstable hysteresis (§3.5)", rst)
+	experiment.FormatAblation(w, "rstable hysteresis (§3.5)", rst)
 
 	et, err := experiment.RunEtPercentileAblation(cfg, nil)
 	if err != nil {
 		return err
 	}
-	experiment.FormatAblation(os.Stdout, "Et percentile (§3.6)", et)
+	experiment.FormatAblation(w, "Et percentile (§3.6)", et)
 
 	hor, err := experiment.RunHorizonAblation(cfg, nil)
 	if err != nil {
 		return err
 	}
-	experiment.FormatAblation(os.Stdout, "RHC horizon (Lemma 3.1)", hor)
+	experiment.FormatAblation(w, "RHC horizon (Lemma 3.1)", hor)
 
 	capr, err := experiment.RunCappingAblation(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatCappingAblation(os.Stdout, capr)
+	experiment.FormatCappingAblation(w, capr)
 	return nil
 }
 
-func runTable3(quick bool, seed uint64, outDir string) error {
+func runTable3(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultTable3()
-	if quick {
+	if rc.quick {
 		cfg.RowServers = 160
 		cfg.Warmup, cfg.Pretrain, cfg.Measure = sim.Hour, 12*sim.Hour, 12*sim.Hour
 	}
-	cfg.Seed = pick(seed, cfg.Seed)
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
 	res, err := experiment.RunTable3(cfg)
 	if err != nil {
 		return err
 	}
-	experiment.FormatTable3(os.Stdout, res)
+	experiment.FormatTable3(w, res)
 	return nil
 }

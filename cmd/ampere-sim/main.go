@@ -5,16 +5,26 @@
 //
 //	ampere-sim -rows 2 -row-servers 400 -hours 24 -target 0.76 -ro 0.25 -ampere
 //	ampere-sim -config scenario.json
+//	ampere-sim -ampere -replicate 8 -parallel 4
+//
+// -replicate K repeats the scenario K times with seeds seed..seed+K−1 and
+// -parallel N fans the replicates across up to N workers (default: the CPU
+// count; 1 = serial). Each replicate builds its own isolated simulation and
+// its report is buffered, so output appears in seed order and is
+// byte-identical at any -parallel value.
 //
 // cmd/ampere-exp runs the paper's specific experiments; this tool is for
 // free-form exploration.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -34,6 +44,8 @@ func main() {
 		policy     = flag.String("policy", "random-fit", "placement policy: random-fit|least-loaded|best-fit|round-robin")
 		chooser    = flag.String("row-chooser", "proportional", "row selection: proportional|balance-rows|concentrate-rows")
 		amplitude  = flag.Float64("amplitude", 0.35, "diurnal amplitude of the workload")
+		replicate  = flag.Int("replicate", 1, "run K replicates with seeds seed..seed+K-1")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker count for replicates (1 = serial)")
 	)
 	flag.Parse()
 
@@ -66,14 +78,40 @@ func main() {
 		}
 	}
 
-	built, err := spec.Build()
+	k := *replicate
+	if k < 1 {
+		k = 1
+	}
+	units := make([]runner.Unit[[]byte], k)
+	for i := 0; i < k; i++ {
+		i := i
+		units[i] = runner.Unit[[]byte]{Name: fmt.Sprintf("replicate %d", i), Run: func() ([]byte, error) {
+			// Shallow copy: Build never mutates the spec and replicates only
+			// reseed it, so the copies stay independent.
+			sp := *spec
+			sp.Seed = spec.Seed + uint64(i)
+			built, err := sp.Build()
+			if err != nil {
+				return nil, err
+			}
+			if err := built.Run(); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if k > 1 {
+				fmt.Fprintf(&buf, "=== replicate %d (seed %d) ===\n", i, sp.Seed)
+			}
+			built.Report(&buf)
+			return buf.Bytes(), nil
+		}}
+	}
+	outs, err := runner.Run(units, runner.Options{Workers: *parallel})
+	for _, b := range outs {
+		os.Stdout.Write(b)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	if err := built.Run(); err != nil {
-		fatal(err)
-	}
-	built.Report(os.Stdout)
 }
 
 func fatal(err error) {

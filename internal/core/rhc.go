@@ -95,9 +95,18 @@ func SolvePCP(p0 float64, e []float64, pm float64, f EffectFunc, maxU float64) P
 // saturates and pre-freezing ahead of a predicted surge is required. The
 // budget constraint P_{k+1} ≤ pm is equivalent to prefix-sum constraints
 // S_m = Σ_{k≤m} u_k ≥ R_m with per-step increments in [0, maxU]; the minimal
-// feasible prefix sums are computed by a backward pass. When even that is
-// infeasible (R_0 > maxU), the first step saturates and the remainder is
-// re-solved on the realized trajectory.
+// feasible prefix sums S*_m are computed by a backward pass, and the control
+// sequence falls out of one clamped forward pass.
+//
+// Infeasible instances (some S*_m unreachable even at full saturation) need
+// no special casing: saturating u_0 = maxU and re-solving the tail on the
+// realized trajectory — the original recursive formulation — shifts every
+// tail requirement down by exactly maxU, which is precisely what the forward
+// pass's cumulative-control tracking does. The forward pass therefore
+// saturates through the infeasible prefix and solves the feasible remainder
+// in a single O(n) sweep; the recursion's O(n²) time and per-level U/P/r/s
+// allocations are gone (see BenchmarkSolvePCPExactInfeasible1k), and a
+// property test checks step-for-step agreement with the recursive reference.
 //
 // Under the paper's empirical side condition 0 ≤ E_k ≤ kr·maxU this yields
 // the same sequence as stepwise SPCP (Lemma 3.1); beyond it, it strictly
@@ -114,40 +123,32 @@ func SolvePCPExact(p0 float64, e []float64, pm, kr, maxU float64) PCPResult {
 	if n == 0 {
 		return res
 	}
-	// Required cumulative control R_m to keep P_{m+1} ≤ pm.
-	r := make([]float64, n)
+	// Required cumulative control R_m to keep P_{m+1} ≤ pm, then the minimal
+	// monotone prefix sums with bounded increments (backward pass, in place).
+	s := make([]float64, n)
 	acc := p0 - pm
 	for m, ek := range e {
 		acc += ek
-		r[m] = acc / kr
+		s[m] = acc / kr
 	}
-	// Minimal monotone prefix sums with bounded increments, backward pass.
-	s := make([]float64, n)
-	s[n-1] = math.Max(0, r[n-1])
+	s[n-1] = math.Max(0, s[n-1])
 	for m := n - 2; m >= 0; m-- {
-		s[m] = math.Max(0, math.Max(r[m], s[m+1]-maxU))
-	}
-	if s[0] > maxU+1e-12 {
-		// Infeasible: saturate now, then re-solve the tail on the realized
-		// (over-budget) trajectory.
-		res.Feasible = false
-		u0 := maxU
-		p1 := p0 + e[0] - kr*u0
-		tail := SolvePCPExact(p1, e[1:], pm, kr, maxU)
-		res.U[0], res.P[0] = u0, p1
-		copy(res.U[1:], tail.U)
-		copy(res.P[1:], tail.P)
-		res.Cost = u0 + tail.Cost
-		return res
+		s[m] = math.Max(0, math.Max(s[m], s[m+1]-maxU))
 	}
 	p := p0
 	prev := 0.0
 	for m := 0; m < n; m++ {
 		// prev may already exceed this step's requirement when R decreases
 		// (demand drops); prefix sums are non-decreasing, so clamp at 0.
-		// s[m] ≥ s[m+1] − maxU guarantees every increment fits under maxU
-		// up to rounding, which the min() absorbs.
-		u := math.Min(maxU, math.Max(0, s[m]-prev))
+		// Wherever the requirement outruns full saturation the step rides at
+		// maxU and the trajectory exceeds the budget — the condition in which
+		// the DVFS safety net matters; the 1e-12 tolerance keeps boundary
+		// instances feasible, matching the recursive formulation.
+		need := math.Max(0, s[m]-prev)
+		if need > maxU+1e-12 {
+			res.Feasible = false
+		}
+		u := math.Min(maxU, need)
 		prev += u
 		p = p + e[m] - kr*u
 		res.U[m], res.P[m] = u, p

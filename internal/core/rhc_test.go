@@ -306,3 +306,144 @@ func TestPCPBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// solvePCPExactRecursive is the original recursive formulation of
+// SolvePCPExact, kept as the reference for the equivalence property test:
+// on an infeasible prefix it saturates the first step and re-solves the
+// tail on the realized trajectory, re-deriving R and S* each level.
+func solvePCPExactRecursive(p0 float64, e []float64, pm, kr, maxU float64) PCPResult {
+	n := len(e)
+	res := PCPResult{U: make([]float64, n), P: make([]float64, n), Feasible: true}
+	if n == 0 {
+		return res
+	}
+	r := make([]float64, n)
+	acc := p0 - pm
+	for m, ek := range e {
+		acc += ek
+		r[m] = acc / kr
+	}
+	s := make([]float64, n)
+	s[n-1] = math.Max(0, r[n-1])
+	for m := n - 2; m >= 0; m-- {
+		s[m] = math.Max(0, math.Max(r[m], s[m+1]-maxU))
+	}
+	if s[0] > maxU+1e-12 {
+		res.Feasible = false
+		u0 := maxU
+		p1 := p0 + e[0] - kr*u0
+		tail := solvePCPExactRecursive(p1, e[1:], pm, kr, maxU)
+		res.U[0], res.P[0] = u0, p1
+		copy(res.U[1:], tail.U)
+		copy(res.P[1:], tail.P)
+		res.Cost = u0 + tail.Cost
+		return res
+	}
+	p := p0
+	prev := 0.0
+	for m := 0; m < n; m++ {
+		u := math.Min(maxU, math.Max(0, s[m]-prev))
+		prev += u
+		p = p + e[m] - kr*u
+		res.U[m], res.P[m] = u, p
+		res.Cost += u
+	}
+	return res
+}
+
+// Property: the iterative SolvePCPExact agrees step for step with the
+// recursive reference across feasible, infeasible, and mixed horizons —
+// including demand drops (negative E) and long saturated prefixes.
+func TestSolvePCPExactMatchesRecursiveProperty(t *testing.T) {
+	f := func(p0Raw, krRaw, maxURaw uint8, eRaw []int8) bool {
+		p0 := 0.6 + float64(p0Raw%70)/100     // 0.60 … 1.29: starts above budget too
+		kr := 0.02 + float64(krRaw%25)/100    // 0.02 … 0.26
+		maxU := 0.1 + float64(maxURaw%90)/100 // 0.1 … 0.99
+		e := make([]float64, 0, len(eRaw))
+		for _, v := range eRaw {
+			e = append(e, float64(v%25)/100) // −0.24 … 0.24: surges and drops
+		}
+		got := SolvePCPExact(p0, e, 1.0, kr, maxU)
+		want := solvePCPExactRecursive(p0, e, 1.0, kr, maxU)
+		if got.Feasible != want.Feasible {
+			return false
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			return false
+		}
+		for k := range e {
+			if math.Abs(got.U[k]-want.U[k]) > 1e-9 || math.Abs(got.P[k]-want.P[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// An all-infeasible horizon exercises the path that used to recurse once
+// per step: every step saturates and the trajectory stays over budget.
+func TestSolvePCPExactLongInfeasibleHorizon(t *testing.T) {
+	const n = 512
+	e := make([]float64, n)
+	for i := range e {
+		e[i] = 0.2 // every step demands 2× what saturation can absorb (kr·maxU = 0.05)
+	}
+	got := SolvePCPExact(1.0, e, 1.0, 0.1, 0.5)
+	want := solvePCPExactRecursive(1.0, e, 1.0, 0.1, 0.5)
+	if got.Feasible || want.Feasible {
+		t.Fatal("instance should be infeasible")
+	}
+	for k := 0; k < n; k++ {
+		if got.U[k] != 0.5 {
+			t.Fatalf("step %d not saturated: %v", k, got.U[k])
+		}
+		if math.Abs(got.P[k]-want.P[k]) > 1e-9 {
+			t.Fatalf("trajectory diverges at %d: %v vs %v", k, got.P[k], want.P[k])
+		}
+	}
+	if math.Abs(got.Cost-want.Cost) > 1e-9 {
+		t.Fatalf("cost %v vs %v", got.Cost, want.Cost)
+	}
+}
+
+// infeasibleHorizon returns a 1k-step horizon whose first ~half saturates
+// (the old implementation recursed once per saturated step, re-allocating
+// U/P/R/S at every level — O(n²) time and allocations).
+func infeasibleHorizon(n int) []float64 {
+	e := make([]float64, n)
+	for i := range e {
+		if i < n/2 {
+			e[i] = 0.15
+		} else {
+			e[i] = -0.2
+		}
+	}
+	return e
+}
+
+func BenchmarkSolvePCPExactInfeasible1k(b *testing.B) {
+	e := infeasibleHorizon(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := SolvePCPExact(1.05, e, 1.0, 0.1, 0.5)
+		if res.Feasible {
+			b.Fatal("horizon unexpectedly feasible")
+		}
+	}
+}
+
+func BenchmarkSolvePCPExactRecursiveInfeasible1k(b *testing.B) {
+	e := infeasibleHorizon(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := solvePCPExactRecursive(1.05, e, 1.0, 0.1, 0.5)
+		if res.Feasible {
+			b.Fatal("horizon unexpectedly feasible")
+		}
+	}
+}

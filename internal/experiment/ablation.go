@@ -38,6 +38,9 @@ type AblationConfig struct {
 	Warmup     sim.Duration
 	Pretrain   sim.Duration
 	Measure    sim.Duration
+	// Parallel fans the variants out on that many workers (0 or 1 = serial).
+	// Each variant builds its own rig, so results are identical at any value.
+	Parallel int
 }
 
 // DefaultAblation uses the Table 2 heavy day.
@@ -80,17 +83,20 @@ func outcome(variant string, run *AmpereRun) AblationOutcome {
 // computation capacity left and thus freezing them may result in a higher
 // cost".
 func RunSelectionAblation(cfg AblationConfig) ([]AblationOutcome, error) {
-	var out []AblationOutcome
-	for _, sel := range []core.SelectionPolicy{core.SelectHottest, core.SelectColdest, core.SelectRandom} {
+	sels := []core.SelectionPolicy{core.SelectHottest, core.SelectColdest, core.SelectRandom}
+	names := make([]string, len(sels))
+	for i, sel := range sels {
+		names[i] = sel.String()
+	}
+	return runUnits(cfg.Parallel, names, func(i int) (AblationOutcome, error) {
 		c := cfg.base()
-		c.Selection = sel
+		c.Selection = sels[i]
 		run, err := RunAmpere(c)
 		if err != nil {
-			return nil, fmt.Errorf("selection %v: %w", sel, err)
+			return AblationOutcome{}, fmt.Errorf("selection %v: %w", sels[i], err)
 		}
-		out = append(out, outcome(sel.String(), run))
-	}
-	return out, nil
+		return outcome(sels[i].String(), run), nil
+	})
 }
 
 // RunRStableAblation sweeps the stability ratio. The paper "find[s] that the
@@ -101,17 +107,19 @@ func RunRStableAblation(cfg AblationConfig, values []float64) ([]AblationOutcome
 	if values == nil {
 		values = []float64{0.5, 0.8, 0.95}
 	}
-	var out []AblationOutcome
-	for _, v := range values {
+	names := make([]string, len(values))
+	for i, v := range values {
+		names[i] = fmt.Sprintf("rstable=%.2f", v)
+	}
+	return runUnits(cfg.Parallel, names, func(i int) (AblationOutcome, error) {
 		c := cfg.base()
-		c.RStable = v
+		c.RStable = values[i]
 		run, err := RunAmpere(c)
 		if err != nil {
-			return nil, fmt.Errorf("rstable %v: %w", v, err)
+			return AblationOutcome{}, fmt.Errorf("rstable %v: %w", values[i], err)
 		}
-		out = append(out, outcome(fmt.Sprintf("rstable=%.2f", v), run))
-	}
-	return out, nil
+		return outcome(names[i], run), nil
+	})
 }
 
 // RunEtPercentileAblation sweeps the Et percentile: lower percentiles leave
@@ -121,17 +129,19 @@ func RunEtPercentileAblation(cfg AblationConfig, percentiles []float64) ([]Ablat
 	if percentiles == nil {
 		percentiles = []float64{50, 90, 99.5}
 	}
-	var out []AblationOutcome
-	for _, p := range percentiles {
+	names := make([]string, len(percentiles))
+	for i, p := range percentiles {
+		names[i] = fmt.Sprintf("etpct=%.1f", p)
+	}
+	return runUnits(cfg.Parallel, names, func(i int) (AblationOutcome, error) {
 		c := cfg.base()
-		c.EtPercentile = p
+		c.EtPercentile = percentiles[i]
 		run, err := RunAmpere(c)
 		if err != nil {
-			return nil, fmt.Errorf("et percentile %v: %w", p, err)
+			return AblationOutcome{}, fmt.Errorf("et percentile %v: %w", percentiles[i], err)
 		}
-		out = append(out, outcome(fmt.Sprintf("etpct=%.1f", p), run))
-	}
-	return out, nil
+		return outcome(names[i], run), nil
+	})
 }
 
 // RunHorizonAblation compares the paper's horizon-1 SPCP controller with
@@ -141,17 +151,19 @@ func RunHorizonAblation(cfg AblationConfig, horizons []int) ([]AblationOutcome, 
 	if horizons == nil {
 		horizons = []int{1, 5, 15}
 	}
-	var out []AblationOutcome
-	for _, h := range horizons {
+	names := make([]string, len(horizons))
+	for i, h := range horizons {
+		names[i] = fmt.Sprintf("horizon=%d", h)
+	}
+	return runUnits(cfg.Parallel, names, func(i int) (AblationOutcome, error) {
 		c := cfg.base()
-		c.Horizon = h
+		c.Horizon = horizons[i]
 		run, err := RunAmpere(c)
 		if err != nil {
-			return nil, fmt.Errorf("horizon %d: %w", h, err)
+			return AblationOutcome{}, fmt.Errorf("horizon %d: %w", horizons[i], err)
 		}
-		out = append(out, outcome(fmt.Sprintf("horizon=%d", h), run))
-	}
-	return out, nil
+		return outcome(names[i], run), nil
+	})
 }
 
 // CappingAblationRow compares power-protection mechanisms on one metric
@@ -187,15 +199,18 @@ func RunCappingAblation(cfg AblationConfig) ([]CappingAblationRow, error) {
 		{name: "capping-static", mode: capping.PerServerStatic},
 		{name: "ampere", ampere: true},
 	}
-	var out []CappingAblationRow
-	for _, v := range variants {
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	return runUnits(cfg.Parallel, names, func(i int) (CappingAblationRow, error) {
+		v := variants[i]
 		row, err := runCappingVariant(cfg, v.name, v.mode, v.ampere)
 		if err != nil {
-			return nil, fmt.Errorf("capping ablation %s: %w", v.name, err)
+			return CappingAblationRow{}, fmt.Errorf("capping ablation %s: %w", v.name, err)
 		}
-		out = append(out, *row)
-	}
-	return out, nil
+		return *row, nil
+	})
 }
 
 func runCappingVariant(cfg AblationConfig, name string, mode capping.Mode, ampere bool) (*CappingAblationRow, error) {

@@ -44,6 +44,10 @@ type ChaosConfig struct {
 	// to the start of the measured window.
 	CrashAt  sim.Duration
 	CrashLen sim.Duration
+	// Parallel fans the two regimes out on that many workers (0 or 1 =
+	// serial); the injector's fault decisions are pure functions of time, so
+	// both regimes face the same storm regardless of execution order.
+	Parallel int
 }
 
 // DefaultChaos is a 160-server row under a day-long storm with a five-hour
@@ -134,15 +138,22 @@ func chaosPlan(cfg ChaosConfig, start, peak sim.Time) chaos.Plan {
 
 // RunChaos drives the identical fault-storm day through both regimes.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
-	naive, plan, err := runChaosOnce(cfg, true)
-	if err != nil {
-		return nil, fmt.Errorf("chaos naive: %w", err)
+	type regimeRun struct {
+		out  *ChaosOutcome
+		plan chaos.Plan
 	}
-	resilient, _, err := runChaosOnce(cfg, false)
+	naiveFlags := []bool{true, false}
+	runs, err := runUnits(cfg.Parallel, []string{"naive", "resilient"}, func(i int) (regimeRun, error) {
+		out, plan, err := runChaosOnce(cfg, naiveFlags[i])
+		if err != nil {
+			return regimeRun{}, fmt.Errorf("chaos %s: %w", []string{"naive", "resilient"}[i], err)
+		}
+		return regimeRun{out: out, plan: plan}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("chaos resilient: %w", err)
+		return nil, err
 	}
-	return &ChaosResult{Naive: *naive, Resilient: *resilient, Plan: plan}, nil
+	return &ChaosResult{Naive: *runs[0].out, Resilient: *runs[1].out, Plan: runs[0].plan}, nil
 }
 
 func runChaosOnce(cfg ChaosConfig, naive bool) (*ChaosOutcome, chaos.Plan, error) {

@@ -204,6 +204,9 @@ type Table2Config struct {
 	Warmup               sim.Duration
 	Pretrain             sim.Duration
 	Measure              sim.Duration
+	// Parallel fans the two day scenarios out on that many workers (0 or 1
+	// = serial); each builds its own rig, so results are order-independent.
+	Parallel int
 }
 
 // DefaultTable2 reproduces the paper's setup: 400 servers, rO = 0.25, 24 h
@@ -243,14 +246,18 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 			Measure:  cfg.Measure,
 		})
 	}
-	light, err := run(cfg.LightFrac, 0)
+	fracs := []float64{cfg.LightFrac, cfg.HeavyFrac}
+	runs, err := runUnits(cfg.Parallel, []string{"light", "heavy"}, func(i int) (*AmpereRun, error) {
+		r, err := run(fracs[i], uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s scenario: %w", []string{"light", "heavy"}[i], err)
+		}
+		return r, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("light scenario: %w", err)
+		return nil, err
 	}
-	heavy, err := run(cfg.HeavyFrac, 1)
-	if err != nil {
-		return nil, fmt.Errorf("heavy scenario: %w", err)
-	}
+	light, heavy := runs[0], runs[1]
 	return &Table2Result{
 		Light:    light.Analyze("light"),
 		Heavy:    heavy.Analyze("heavy"),
@@ -427,6 +434,10 @@ type Table3Config struct {
 	Pretrain   sim.Duration
 	Measure    sim.Duration
 	Scenarios  []Table3Scenario
+	// Parallel fans the scenarios out on that many workers (0 or 1 =
+	// serial); each builds its own rig, so row order and values are
+	// identical at any value.
+	Parallel int
 }
 
 // DefaultTable3 mirrors the paper's 13 representative days across four
@@ -462,8 +473,12 @@ type Table3Result struct {
 // ratios and workload levels, with the §4.4 setup (only the experiment
 // group's budget scaled).
 func RunTable3(cfg Table3Config) (*Table3Result, error) {
-	res := &Table3Result{}
+	names := make([]string, len(cfg.Scenarios))
 	for i, sc := range cfg.Scenarios {
+		names[i] = fmt.Sprintf("scenario %d (ro=%.2f)", i, sc.RO)
+	}
+	rows, err := runUnits(cfg.Parallel, names, func(i int) (Table3Row, error) {
+		sc := cfg.Scenarios[i]
 		run, err := RunAmpere(AmpereRunConfig{
 			Controlled: ControlledConfig{
 				Seed:             cfg.Seed + uint64(i)*101,
@@ -480,7 +495,7 @@ func RunTable3(cfg Table3Config) (*Table3Result, error) {
 			Measure:  cfg.Measure,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("table3 scenario %d: %w", i, err)
+			return Table3Row{}, fmt.Errorf("table3 scenario %d: %w", i, err)
 		}
 		t := run.Ctrl.Tracker
 		raw := t.PowerSeries(GCtrl, run.MeasureFrom)
@@ -490,7 +505,7 @@ func RunTable3(cfg Table3Config) (*Table3Result, error) {
 		}
 		st := run.Analyze(fmt.Sprintf("ro=%.2f", sc.RO))
 		rT := run.ThroughputRatio()
-		res.Rows = append(res.Rows, Table3Row{
+		return Table3Row{
 			RO:         sc.RO,
 			PMean:      pc.Mean(),
 			PMax:       pc.Max(),
@@ -498,7 +513,10 @@ func RunTable3(cfg Table3Config) (*Table3Result, error) {
 			RThru:      rT,
 			GTPW:       rT*(1+sc.RO) - 1,
 			Violations: st.ViolationsExp,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table3Result{Rows: rows}, nil
 }

@@ -92,6 +92,76 @@ func TestTrackerIndexAt(t *testing.T) {
 	}
 }
 
+func TestIndexAtEdgeCases(t *testing.T) {
+	// Empty tracker: no samples, every query returns 0 == Samples().
+	empty := &Tracker{}
+	if got := empty.IndexAt(0); got != 0 {
+		t.Errorf("empty IndexAt(0) = %d", got)
+	}
+	if got := empty.IndexAt(sim.Time(sim.Hour)); got != 0 {
+		t.Errorf("empty IndexAt(1h) = %d", got)
+	}
+
+	// Synthetic sample times starting after t=0: before-first must clamp to
+	// index 0, after-last to the length, exact hits to their own index.
+	tr := &Tracker{times: []sim.Time{
+		sim.Time(10 * sim.Minute), sim.Time(11 * sim.Minute), sim.Time(12 * sim.Minute),
+	}}
+	if got := tr.IndexAt(0); got != 0 {
+		t.Errorf("before-first IndexAt(0) = %d", got)
+	}
+	if got := tr.IndexAt(sim.Time(10 * sim.Minute)); got != 0 {
+		t.Errorf("exact first IndexAt = %d", got)
+	}
+	if got := tr.IndexAt(sim.Time(10*sim.Minute + 1)); got != 1 {
+		t.Errorf("between IndexAt = %d", got)
+	}
+	if got := tr.IndexAt(sim.Time(12 * sim.Minute)); got != 2 {
+		t.Errorf("exact last IndexAt = %d", got)
+	}
+	if got := tr.IndexAt(sim.Time(12*sim.Minute + 1)); got != 3 {
+		t.Errorf("after-last IndexAt = %d, want %d", got, len(tr.times))
+	}
+}
+
+func TestNormPowerSeriesZeroBudget(t *testing.T) {
+	// Regression: a group with no enforced budget (BudgetW 0, like the
+	// uncontrolled groups of the §4.4 setup before scaling) must yield a
+	// zeroed normalized series, never +Inf/NaN.
+	ctrl, err := NewControlled(ControlledConfig{
+		Seed: 5, RowServers: 40, RestRows: 1, TargetPowerFrac: 0.75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Rig.StartBase()
+	if err := ctrl.Rig.Run(sim.Time(10 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	tr := ctrl.Tracker
+	// Force the no-budget condition the same way Violations guards it.
+	tr.groups[GExp].BudgetW = 0
+	norm := tr.NormPowerSeries(GExp, 0)
+	if len(norm) != tr.Samples() {
+		t.Fatalf("series length %d, want %d", len(norm), tr.Samples())
+	}
+	for i, v := range norm {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value %v at %d", v, i)
+		}
+		if v != 0 {
+			t.Fatalf("zero-budget normalization %v at %d, want 0", v, i)
+		}
+	}
+	if got := tr.Violations(GExp, 0); got != 0 {
+		t.Errorf("zero-budget violations %d, want 0 (consistency with NormPowerSeries)", got)
+	}
+	// Raw power is untouched by the guard.
+	if raw := tr.PowerSeries(GExp, 0); raw[len(raw)-1] <= 0 {
+		t.Error("raw power series unexpectedly empty")
+	}
+}
+
 func TestPlacedBetweenBounds(t *testing.T) {
 	ctrl, err := NewControlled(ControlledConfig{
 		Seed: 3, RowServers: 40, RestRows: 1, TargetPowerFrac: 0.75,

@@ -32,6 +32,9 @@ type OutageConfig struct {
 	Measure    sim.Duration
 	// RepairAfter is the outage duration before servers return.
 	RepairAfter sim.Duration
+	// Parallel fans the protection regimes out on that many workers (0 or 1
+	// = serial); each builds its own rig, so results are order-independent.
+	Parallel int
 }
 
 // DefaultOutage uses a 160-server row with peak demand ≈ 6 % over budget.
@@ -62,15 +65,13 @@ type OutageOutcome struct {
 // RunOutage runs the three regimes on the identical workload.
 func RunOutage(cfg OutageConfig) ([]OutageOutcome, error) {
 	regimes := []string{"none", "capping", "ampere"}
-	var out []OutageOutcome
-	for _, regime := range regimes {
-		o, err := runOutageOnce(cfg, regime)
+	return runUnits(cfg.Parallel, regimes, func(i int) (OutageOutcome, error) {
+		o, err := runOutageOnce(cfg, regimes[i])
 		if err != nil {
-			return nil, fmt.Errorf("outage %s: %w", regime, err)
+			return OutageOutcome{}, fmt.Errorf("outage %s: %w", regimes[i], err)
 		}
-		out = append(out, *o)
-	}
-	return out, nil
+		return *o, nil
+	})
 }
 
 func runOutageOnce(cfg OutageConfig, regime string) (*OutageOutcome, error) {

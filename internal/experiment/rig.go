@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/monitor"
@@ -204,14 +205,12 @@ func (t *Tracker) Samples() int { return len(t.times) }
 // Times returns the sample timestamps.
 func (t *Tracker) Times() []sim.Time { return t.times }
 
-// IndexAt returns the index of the first sample at or after tm.
+// IndexAt returns the index of the first sample at or after tm; len(times)
+// when every sample precedes tm. Sample times are appended in monitor order
+// and therefore sorted, so this is a binary search — IndexAt is called once
+// per series extraction, and day-long runs hold thousands of samples.
 func (t *Tracker) IndexAt(tm sim.Time) int {
-	for i, v := range t.times {
-		if v >= tm {
-			return i
-		}
-	}
-	return len(t.times)
+	return sort.Search(len(t.times), func(i int) bool { return t.times[i] >= tm })
 }
 
 // PowerSeries returns group gi's power samples (watts) from sample index
@@ -220,11 +219,17 @@ func (t *Tracker) PowerSeries(gi, from int) []float64 {
 	return t.power[gi][from:]
 }
 
-// NormPowerSeries returns group gi's power normalized to its budget.
+// NormPowerSeries returns group gi's power normalized to its budget. A
+// group without a positive budget has no normalization scale — consistent
+// with Violations, the series is all zeros rather than +Inf/NaN, so
+// downstream statistics and CSV exports never see non-finite values.
 func (t *Tracker) NormPowerSeries(gi, from int) []float64 {
 	b := t.groups[gi].BudgetW
 	src := t.power[gi][from:]
 	out := make([]float64, len(src))
+	if b <= 0 {
+		return out
+	}
 	for i, v := range src {
 		out[i] = v / b
 	}

@@ -31,6 +31,9 @@ type SpreadConfig struct {
 	TargetFrac float64
 	Warmup     sim.Duration
 	Measure    sim.Duration
+	// Parallel fans the chooser variants out on that many workers (0 or 1
+	// = serial); each builds its own rig, so results are order-independent.
+	Parallel int
 }
 
 // DefaultSpread compares on 4 rows of 160 servers over a day.
@@ -73,15 +76,18 @@ func RunSpread(cfg SpreadConfig) ([]SpreadOutcome, error) {
 		{"balance-rows", scheduler.BalanceRows{}},
 		{"concentrate-rows", scheduler.ConcentrateRows{}},
 	}
-	var out []SpreadOutcome
-	for _, ch := range choosers {
+	names := make([]string, len(choosers))
+	for i, ch := range choosers {
+		names[i] = ch.name
+	}
+	return runUnits(cfg.Parallel, names, func(i int) (SpreadOutcome, error) {
+		ch := choosers[i]
 		o, err := runSpreadOnce(cfg, ch.name, ch.rc)
 		if err != nil {
-			return nil, fmt.Errorf("spread %s: %w", ch.name, err)
+			return SpreadOutcome{}, fmt.Errorf("spread %s: %w", ch.name, err)
 		}
-		out = append(out, *o)
-	}
-	return out, nil
+		return *o, nil
+	})
 }
 
 func runSpreadOnce(cfg SpreadConfig, name string, rc scheduler.RowChooser) (*SpreadOutcome, error) {
