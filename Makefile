@@ -2,9 +2,10 @@
 # pass the full suite under the race detector, and pass the experiment +
 # runner suites with shuffled test order (order-dependence is how shared
 # state between parallel run units would first show up).
-.PHONY: tier1 build lint vet test race race-shuffle fuzz chaos bench-runner
+.PHONY: tier1 build lint vet test race race-shuffle fuzz chaos bench-runner \
+	bench-scale bench-scale-quick
 
-tier1: build lint race race-shuffle
+tier1: build lint race race-shuffle bench-scale-quick
 
 build:
 	go build ./...
@@ -39,6 +40,19 @@ fuzz:
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:
 	go run ./cmd/ampere-exp -exp chaos -quick
+
+# Weak-scaling baseline: the BenchmarkScale{Sweep,Placement,ControllerTick}
+# family at 400 / 10k / 100k servers, recorded to BENCH_scale.json for
+# regression comparison (see docs/OPERATIONS.md for how to read it).
+bench-scale:
+	go test -run '^$$' -bench 'BenchmarkScale' -benchmem . | tee BENCH_scale.txt
+	awk -f scripts/bench_to_json.awk BENCH_scale.txt > BENCH_scale.json
+	rm -f BENCH_scale.txt
+
+# One-row smoke of the scale family (part of tier1): exercises every scale
+# benchmark once, which includes the zero-allocation sweep contract.
+bench-scale-quick:
+	go test -run '^$$' -bench 'BenchmarkScale[A-Za-z]*/servers=400' -benchtime 1x .
 
 # Records serial vs parallel wall-clock for the shrunken figure suite; on a
 # ≥4-core machine the parallel run should be ≥2× faster with byte-identical

@@ -485,7 +485,7 @@ func BenchmarkMetricsScrape(b *testing.B) {
 	journal := obs.NewJournal(0)
 	rig.Mon.Instrument(reg)
 	rig.DB.Instrument(reg)
-	rig.Sched.Instrument(reg)
+	rig.Sched.Instrument(reg, journal)
 	rig.StartBase()
 	budget := spec.RowRatedPowerW() / 1.25
 	domains := make([]core.Domain, spec.Rows)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	ampere-exp -exp fig1|fig2|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|
-//	                table2|table3|spread|outage|ablations|all
+//	                table2|table3|spread|outage|chaos|ablations|scale|all
 //	           [-quick] [-seed N] [-out dir] [-parallel N]
 //
 // -quick shrinks cluster sizes and time spans for a fast pass (the same
@@ -69,9 +69,11 @@ func main() {
 		"outage":    runOutage,
 		"chaos":     runChaos,
 		"ablations": runAblations,
+		"scale":     runScale,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
-		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations"}
+		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations",
+		"scale"}
 
 	var ids []string
 	if *exp == "all" {
@@ -382,6 +384,25 @@ func runAblations(w io.Writer, rc runCtx) error {
 		return err
 	}
 	experiment.FormatCappingAblation(w, capr)
+	return nil
+}
+
+// runScale runs the weak-scaling sweep. Sizes run serially regardless of
+// -parallel (each size's wall-clock measurement needs the machine to
+// itself); wall timings go to stderr so stdout stays deterministic.
+func runScale(w io.Writer, rc runCtx) error {
+	cfg := experiment.DefaultScale()
+	if rc.quick {
+		cfg.RowCounts = []int{1, 5, 25} // 400 / 2k / 10k servers
+		cfg.Warmup, cfg.Measure = 10*sim.Minute, 30*sim.Minute
+	}
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	rows, err := experiment.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatScale(w, rows)
+	experiment.FormatScaleTiming(os.Stderr, rows, cfg.Measure)
 	return nil
 }
 

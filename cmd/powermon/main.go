@@ -135,7 +135,7 @@ func run(cfg runConfig) error {
 		journal = obs.NewJournal(cfg.journalCap)
 		rig.Mon.Instrument(reg)
 		rig.DB.Instrument(reg)
-		rig.Sched.Instrument(reg)
+		rig.Sched.Instrument(reg, journal)
 	}
 	rig.StartBase()
 

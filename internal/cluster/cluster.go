@@ -287,6 +287,10 @@ type Cluster struct {
 	Spec    Spec
 	Servers []*Server
 	rows    [][]*Server // rows[r] = servers on row r
+	// racks[r*RacksPerRow+k] = servers of rack k on row r. Each entry is a
+	// subslice of rows[r] (construction is rack-contiguous), so the rack-major
+	// index costs no extra storage and preserves ID iteration order.
+	racks [][]*Server
 }
 
 // New builds a cluster from spec, seeding each server's measurement-noise
@@ -298,6 +302,7 @@ func New(spec Spec, seed uint64) (*Cluster, error) {
 	c := &Cluster{Spec: spec}
 	c.Servers = make([]*Server, 0, spec.TotalServers())
 	c.rows = make([][]*Server, spec.Rows)
+	c.racks = make([][]*Server, spec.Rows*spec.RacksPerRow)
 	id := ServerID(0)
 	for r := 0; r < spec.Rows; r++ {
 		row := make([]*Server, 0, spec.ServersPerRow())
@@ -324,12 +329,18 @@ func New(spec Spec, seed uint64) (*Cluster, error) {
 			}
 		}
 		c.rows[r] = row
+		for k := 0; k < spec.RacksPerRow; k++ {
+			c.racks[r*spec.RacksPerRow+k] = row[k*spec.ServersPerRack : (k+1)*spec.ServersPerRack]
+		}
 	}
 	return c, nil
 }
 
 // Row returns the servers on row r.
 func (c *Cluster) Row(r int) []*Server { return c.rows[r] }
+
+// Rack returns the servers of rack k on row r, in ID order.
+func (c *Cluster) Rack(r, k int) []*Server { return c.racks[r*c.Spec.RacksPerRow+k] }
 
 // Rows returns the number of rows.
 func (c *Cluster) Rows() int { return len(c.rows) }
@@ -359,13 +370,14 @@ func (c *Cluster) RowDrawW(r int) float64 {
 	return sum
 }
 
-// RackDrawW returns the true draw of rack k on row r.
+// RackDrawW returns the true draw of rack k on row r. The rack-major index
+// makes this O(servers-per-rack) rather than a filtered scan of the whole
+// row; iteration stays in ID order, so the floating-point sum is identical
+// to the historical scan.
 func (c *Cluster) RackDrawW(r, k int) float64 {
 	var sum float64
-	for _, s := range c.rows[r] {
-		if s.Rack == k {
-			sum += s.DrawW()
-		}
+	for _, s := range c.Rack(r, k) {
+		sum += s.DrawW()
 	}
 	return sum
 }

@@ -42,7 +42,7 @@ func newObservedRig(t *testing.T) (*Rig, *obs.Registry, *obs.Journal) {
 	journal := obs.NewJournal(256)
 	rig.Mon.Instrument(reg)
 	rig.DB.Instrument(reg)
-	rig.Sched.Instrument(reg)
+	rig.Sched.Instrument(reg, journal)
 	rig.StartBase()
 
 	inj, err := chaos.New(rig.Eng, chaos.Plan{Seed: 7})

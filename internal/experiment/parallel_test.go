@@ -77,7 +77,7 @@ func newScrapedRig(t *testing.T, seed uint64) (*Rig, *obs.Registry) {
 	reg := obs.NewRegistry()
 	rig.Mon.Instrument(reg)
 	rig.DB.Instrument(reg)
-	rig.Sched.Instrument(reg)
+	rig.Sched.Instrument(reg, nil)
 	return rig, reg
 }
 

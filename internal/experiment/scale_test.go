@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRunScaleDeterministicInvariants runs a tiny weak-scaling sweep twice
+// and checks (a) the per-size rows carry sane values, and (b) everything
+// FormatScale prints is byte-identical across runs — WallSeconds is the only
+// field allowed to differ, and it must stay out of the formatted output.
+func TestRunScaleDeterministicInvariants(t *testing.T) {
+	cfg := ScaleConfig{Seed: 99, RowCounts: []int{1, 2}, TargetFrac: 0.70,
+		Warmup: 5 * sim.Minute, Measure: 10 * sim.Minute}
+	run := func() []ScaleRow {
+		rows, err := RunScale(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+
+	for i, r := range a {
+		if want := cfg.RowCounts[i] * 400; r.Servers != want {
+			t.Errorf("size %d: servers = %d, want %d", i, r.Servers, want)
+		}
+		if r.Sweeps != 10 {
+			t.Errorf("size %d: sweeps = %d, want 10", i, r.Sweeps)
+		}
+		if r.Placed <= 0 || r.Completed < 0 {
+			t.Errorf("size %d: placed %d / completed %d, want activity", i, r.Placed, r.Completed)
+		}
+		if r.MeanUtil <= 0 || r.MeanUtil > 1.2 {
+			t.Errorf("size %d: mean util %v out of range", i, r.MeanUtil)
+		}
+	}
+
+	var fa, fb strings.Builder
+	FormatScale(&fa, a)
+	FormatScale(&fb, b)
+	if fa.String() != fb.String() {
+		t.Errorf("FormatScale output differs across identical-seed runs:\n%s\n---\n%s",
+			fa.String(), fb.String())
+	}
+}

@@ -70,11 +70,23 @@ type Monitor struct {
 	writeErrors int64
 
 	lastServer []float64 // latest sample per server
+	// lastRow[r] / lastRack[r*RacksPerRow+k] are the aggregates of the latest
+	// sweep, maintained while sweeping so RowPower/RackPower reads are O(1)
+	// instead of re-summing the row on every controller tick.
+	lastRow    []float64
+	lastRack   []float64
 	lastTime   sim.Time
 	haveSample bool
 	sweeps     int64
 	dropped    int64
 	dropRNG    *rand.Rand
+
+	// rowNames/rackNames/serverNames are the TSDB series names, precomputed
+	// at construction: Sweep must not fmt.Sprintf per rack per minute at
+	// 100k-server scale. serverNames stays nil unless StoreServerSeries.
+	rowNames    []string
+	rackNames   []string
+	serverNames []string
 
 	handle   *sim.Handle
 	onSample []func(now sim.Time)
@@ -129,6 +141,22 @@ func New(eng *sim.Engine, c *cluster.Cluster, db *tsdb.DB, cfg Config) (*Monitor
 		c:          c,
 		cfg:        cfg,
 		lastServer: make([]float64, len(c.Servers)),
+		lastRow:    make([]float64, c.Rows()),
+		lastRack:   make([]float64, c.Rows()*c.Spec.RacksPerRow),
+		rowNames:   make([]string, c.Rows()),
+		rackNames:  make([]string, c.Rows()*c.Spec.RacksPerRow),
+	}
+	for r := 0; r < c.Rows(); r++ {
+		m.rowNames[r] = SeriesRow(r)
+		for k := 0; k < c.Spec.RacksPerRow; k++ {
+			m.rackNames[r*c.Spec.RacksPerRow+k] = SeriesRack(r, k)
+		}
+	}
+	if cfg.StoreServerSeries {
+		m.serverNames = make([]string, len(c.Servers))
+		for i := range c.Servers {
+			m.serverNames[i] = SeriesServer(cluster.ServerID(i))
+		}
 	}
 	if db != nil {
 		m.store = db
@@ -185,21 +213,27 @@ func (m *Monitor) Sweep(now sim.Time) {
 	dcTotal := 0.0
 	for r := 0; r < m.c.Rows(); r++ {
 		rowTotal := 0.0
-		rackTotals := make([]float64, spec.RacksPerRow)
+		// Accumulate rack totals directly into the retained lastRack
+		// segment — the per-sweep scratch buffer the old code allocated.
+		rackTotals := m.lastRack[r*spec.RacksPerRow : (r+1)*spec.RacksPerRow]
+		for k := range rackTotals {
+			rackTotals[k] = 0
+		}
 		for _, sv := range m.c.Row(r) {
 			p := sv.SamplePower()
 			m.lastServer[sv.ID] = p
 			rowTotal += p
 			rackTotals[sv.Rack] += p
 			if m.store != nil && m.cfg.StoreServerSeries {
-				m.append(SeriesServer(sv.ID), now, p)
+				m.append(m.serverNames[sv.ID], now, p)
 			}
 		}
+		m.lastRow[r] = rowTotal
 		dcTotal += rowTotal
 		if m.store != nil {
-			m.append(SeriesRow(r), now, rowTotal)
+			m.append(m.rowNames[r], now, rowTotal)
 			for k, v := range rackTotals {
-				m.append(SeriesRack(r, k), now, v)
+				m.append(m.rackNames[r*spec.RacksPerRow+k], now, v)
 			}
 		}
 	}
@@ -248,16 +282,23 @@ func (m *Monitor) ServerPower(id cluster.ServerID) (float64, bool) {
 	return m.lastServer[id], true
 }
 
-// RowPower returns the latest sampled total power of row r.
+// RowPower returns the latest sampled total power of row r. The total is
+// maintained during Sweep (same per-server addition order as the historical
+// re-sum, so the value is bit-identical), making the read O(1) — it sits on
+// the controller's per-tick hot path.
 func (m *Monitor) RowPower(r int) (float64, bool) {
 	if !m.haveSample || r < 0 || r >= m.c.Rows() {
 		return 0, false
 	}
-	total := 0.0
-	for _, sv := range m.c.Row(r) {
-		total += m.lastServer[sv.ID]
+	return m.lastRow[r], true
+}
+
+// RackPower returns the latest sampled total power of rack k on row r, O(1).
+func (m *Monitor) RackPower(r, k int) (float64, bool) {
+	if !m.haveSample || r < 0 || r >= m.c.Rows() || k < 0 || k >= m.c.Spec.RacksPerRow {
+		return 0, false
 	}
-	return total, true
+	return m.lastRack[r*m.c.Spec.RacksPerRow+k], true
 }
 
 // GroupPower returns the latest sampled total power of an arbitrary server

@@ -1,0 +1,142 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestIncrementalTotalsMatchRecomputeProperty drives the cluster through the
+// mutation paths most likely to desynchronize an incremental aggregate —
+// freezes, power caps, breaker trips (failures), repairs, utilization churn
+// and dropped sweeps — and asserts after every sweep that the monitor's O(1)
+// RowPower/RackPower totals and the cluster's rack-indexed RackDrawW are
+// exactly (bit-for-bit) equal to a from-scratch recompute over the servers.
+func TestIncrementalTotalsMatchRecomputeProperty(t *testing.T) {
+	eng := sim.NewEngine()
+	sp := cluster.DefaultSpec()
+	sp.Rows = 3
+	sp.RacksPerRow = 4
+	sp.ServersPerRack = 5
+	sp.RatedJitterFrac = 0.1 // non-uniform fleets stress the sums harder
+	c, err := cluster.New(sp, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SweepDropRate = 0.3 // stale-snapshot path must stay consistent too
+	cfg.DropSeed = 42
+	m, err := New(eng, c, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	now := sim.Time(0)
+	for iter := 0; iter < 400; iter++ {
+		// Mutate a random server through one of the paths under test.
+		sv := c.Servers[rng.Intn(len(c.Servers))]
+		switch rng.Intn(6) {
+		case 0:
+			sv.SetFrozen(!sv.Frozen())
+		case 1: // power cap at a random level between idle/2 and rated
+			sv.ApplyCap(sv.IdleW()/2 + rng.Float64()*sv.RatedW())
+		case 2:
+			if sv.Capped() {
+				sv.RemoveCap()
+			}
+		case 3: // breaker trip / repair
+			sv.SetFailed(!sv.Failed())
+		case 4: // utilization churn
+			if n := sv.FreeContainers(); n > 0 {
+				k := 1 + rng.Intn(n)
+				sv.Allocate(k, float64(k)*rng.Float64())
+			}
+		case 5:
+			if n := sv.Busy(); n > 0 {
+				sv.Release(n, 0)
+			}
+		}
+
+		now = now.Add(sim.Minute)
+		m.Sweep(now) // may be dropped: totals must then match the stale snapshot
+
+		if !m.haveSample {
+			continue
+		}
+		for r := 0; r < c.Rows(); r++ {
+			var rowSum float64
+			for _, s := range c.Row(r) {
+				p, ok := m.ServerPower(s.ID)
+				if !ok {
+					t.Fatalf("iter %d: no sample for server %d", iter, s.ID)
+				}
+				rowSum += p
+			}
+			got, ok := m.RowPower(r)
+			if !ok || got != rowSum {
+				t.Fatalf("iter %d row %d: RowPower = %v, recompute = %v", iter, r, got, rowSum)
+			}
+			for k := 0; k < sp.RacksPerRow; k++ {
+				var rackSum float64
+				for _, s := range c.Rack(r, k) {
+					p, _ := m.ServerPower(s.ID)
+					rackSum += p
+				}
+				if got, ok := m.RackPower(r, k); !ok || got != rackSum {
+					t.Fatalf("iter %d rack %d/%d: RackPower = %v, recompute = %v", iter, r, k, got, rackSum)
+				}
+
+				// RackDrawW via the rack-major index vs the historical
+				// filtered row scan, in the same iteration order.
+				var scan float64
+				for _, s := range c.Row(r) {
+					if s.Rack == k {
+						scan += s.DrawW()
+					}
+				}
+				if got := c.RackDrawW(r, k); got != scan {
+					t.Fatalf("iter %d rack %d/%d: RackDrawW = %v, scan = %v", iter, r, k, got, scan)
+				}
+			}
+		}
+	}
+	if m.Dropped() == 0 {
+		t.Error("drop injection never fired; property did not cover dropped sweeps")
+	}
+}
+
+// TestSweepAndReadsDoNotAllocate pins the scale contract: with history
+// disabled, a sweep performs no allocations at all — in particular none of
+// the per-rack scratch buffers or fmt.Sprintf series names the historical
+// implementation produced per sweep — and the O(1) RowPower/RackPower reads
+// are allocation-free.
+func TestSweepAndReadsDoNotAllocate(t *testing.T) {
+	eng := sim.NewEngine()
+	sp := cluster.DefaultSpec()
+	sp.Rows = 2
+	c, err := cluster.New(sp, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(eng, c, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	if allocs := testing.AllocsPerRun(50, func() {
+		now = now.Add(sim.Minute)
+		m.Sweep(now)
+	}); allocs != 0 {
+		t.Errorf("Sweep allocates %.1f objects per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		m.RowPower(0)
+		m.RowPower(1)
+		m.RackPower(1, 3)
+	}); allocs != 0 {
+		t.Errorf("aggregate reads allocate %.1f objects per run, want 0", allocs)
+	}
+}

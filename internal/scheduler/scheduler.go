@@ -44,7 +44,9 @@ type Policy interface {
 // power variance. eligible is non-empty and lists the rows the job may go
 // to; fit(r) is the number of schedulable fitting servers on row r and
 // util(r) the row's container utilization in [0, 1]. Return value must be
-// one of eligible.
+// one of eligible. Implementations must not retain the eligible slice or the
+// callbacks beyond the call: both are backed by per-scheduler scratch reused
+// on the next pick.
 type RowChooser interface {
 	Name() string
 	ChooseRow(r *rand.Rand, job *workload.Job, eligible []int,
@@ -100,15 +102,33 @@ type Scheduler struct {
 
 	// rowChooser, when non-nil, overrides proportional row selection.
 	rowChooser RowChooser
+	// chooserNoted is set once a journal note about the installed chooser
+	// returning an ineligible row has been written; SetRowChooser resets it
+	// so every chooser installation can be flagged once without flooding the
+	// bounded journal on a persistently buggy chooser.
+	chooserNoted bool
 	// busyRow[r] / capRow[r] track per-row container occupancy for
 	// RowChooser utilization queries.
 	busyRow []int
 	capRow  []int
 
+	// fitScratch[r] caches the per-row fitting-server count for the placement
+	// currently in flight: chooseRow fills it once, so the two weighted picks
+	// and the RowChooser callback never recompute the (potentially O(row))
+	// count. eligScratch is the reusable eligible-row buffer handed to
+	// RowChoosers, and fitFn/utilFn are the pre-bound callbacks, so a pick
+	// allocates nothing.
+	fitScratch    []int
+	eligScratch   []int
+	fitSrvScratch []*cluster.Server
+	fitFn         func(r int) int
+	utilFn        func(r int) float64
+
 	running map[cluster.ServerID][]*runningJob
 
-	stats Stats
-	met   *metrics
+	stats   Stats
+	met     *metrics
+	journal *obs.Journal
 
 	onPlace    func(j *workload.Job, s *cluster.Server)
 	onComplete func(j *workload.Job, s *cluster.Server)
@@ -152,6 +172,10 @@ func New(eng *sim.Engine, c *cluster.Cluster, seed uint64, policy Policy) *Sched
 	}
 	s.busyRow = make([]int, c.Rows())
 	s.capRow = make([]int, c.Rows())
+	s.fitScratch = make([]int, c.Rows())
+	s.eligScratch = make([]int, 0, c.Rows())
+	s.fitFn = func(r int) int { return s.fitScratch[r] }
+	s.utilFn = s.RowUtilization
 	for _, sv := range c.Servers {
 		s.addAvail(sv)
 		s.capRow[sv.Row] += c.Spec.Containers
@@ -164,14 +188,18 @@ func New(eng *sim.Engine, c *cluster.Cluster, seed uint64, policy Policy) *Sched
 // atomics updated on the hot path, so concurrent scrapes never race the
 // simulation goroutine.
 type metrics struct {
-	freezeDur   *obs.Histogram
-	unfreezeDur *obs.Histogram
-	churn       *obs.Counter
-	queueLen    *obs.Gauge
-	submitted   *obs.Counter
-	placed      *obs.Counter
-	completed   *obs.Counter
-	killed      *obs.Counter
+	freezeDur       *obs.Histogram
+	unfreezeDur     *obs.Histogram
+	churn           *obs.Counter
+	queueLen        *obs.Gauge
+	submitted       *obs.Counter
+	placed          *obs.Counter
+	completed       *obs.Counter
+	killed          *obs.Counter
+	rejected        *obs.Counter
+	overflowed      *obs.Counter
+	queued          *obs.Counter
+	chooserDegraded *obs.Counter
 }
 
 // Instrument registers the scheduler's metrics on reg (nil is a no-op):
@@ -183,9 +211,19 @@ type metrics struct {
 //	scheduler_jobs_placed_total                counter
 //	scheduler_jobs_completed_total             counter
 //	scheduler_jobs_killed_total                counter
+//	scheduler_jobs_rejected_total              counter, jobs that can never fit
+//	scheduler_jobs_queued_total                counter, jobs that waited at least once
+//	scheduler_jobs_overflowed_total            counter, placements outside preferred rows
+//	scheduler_rowchooser_degraded_total        counter, ineligible RowChooser picks
+//
+// The last four mirror Stats.{Rejected,Queued,Overflowed} and the chooser
+// fallback, so a scrape and the JSON status API can never disagree. journal
+// (nil is a no-op) receives a one-time note when an installed RowChooser
+// returns an ineligible row and placement degrades to the default sampling.
 //
 // Call before the simulation starts.
-func (s *Scheduler) Instrument(reg *obs.Registry) {
+func (s *Scheduler) Instrument(reg *obs.Registry, journal *obs.Journal) {
+	s.journal = journal
 	if reg == nil {
 		return
 	}
@@ -203,12 +241,23 @@ func (s *Scheduler) Instrument(reg *obs.Registry) {
 		completed: reg.Counter("scheduler_jobs_completed_total", "Jobs completed."),
 		killed: reg.Counter("scheduler_jobs_killed_total",
 			"Jobs killed by server failures (breaker trips)."),
+		rejected: reg.Counter("scheduler_jobs_rejected_total",
+			"Jobs rejected because they can never fit on any server."),
+		queued: reg.Counter("scheduler_jobs_queued_total",
+			"Jobs that had to wait in the queue at least once."),
+		overflowed: reg.Counter("scheduler_jobs_overflowed_total",
+			"Placements that landed outside the job's preferred rows."),
+		chooserDegraded: reg.Counter("scheduler_rowchooser_degraded_total",
+			"Picks where the RowChooser returned an ineligible row and placement degraded to default sampling."),
 	}
 }
 
 // SetRowChooser overrides the row-selection step (nil restores the default
 // proportional sampling).
-func (s *Scheduler) SetRowChooser(rc RowChooser) { s.rowChooser = rc }
+func (s *Scheduler) SetRowChooser(rc RowChooser) {
+	s.rowChooser = rc
+	s.chooserNoted = false
+}
 
 // RowUtilization returns row r's container occupancy in [0, 1].
 func (s *Scheduler) RowUtilization(r int) float64 {
@@ -369,6 +418,9 @@ func (s *Scheduler) Submit(j *workload.Job) {
 	}
 	if j.Containers < 1 || j.Containers > s.c.Spec.Containers {
 		s.stats.Rejected++
+		if s.met != nil {
+			s.met.rejected.Inc()
+		}
 		return
 	}
 	if s.queueHead < len(s.queue) {
@@ -386,6 +438,7 @@ func (s *Scheduler) enqueue(j *workload.Job) {
 	s.enqueuedAt[j.ID] = s.eng.Now()
 	s.queue = append(s.queue, j)
 	if s.met != nil {
+		s.met.queued.Inc()
 		s.met.queueLen.Set(float64(s.QueueLen()))
 	}
 }
@@ -428,6 +481,9 @@ func (s *Scheduler) tryPlace(j *workload.Job) bool {
 	}
 	if overflow {
 		s.stats.Overflowed++
+		if s.met != nil {
+			s.met.overflowed.Inc()
+		}
 	}
 	s.place(j, sv)
 	return true
@@ -439,6 +495,13 @@ func (s *Scheduler) tryPlace(j *workload.Job) bool {
 // return value reports that the job's preferred rows were all full and the
 // choice fell back to unweighted rows.
 func (s *Scheduler) chooseRow(j *workload.Job) (int, bool) {
+	// Fill the per-placement fit cache exactly once. Nothing mutates server
+	// state between here and the pick, so both weighted passes (and the
+	// RowChooser callback) read the cache instead of recomputing the count —
+	// the historical code recomputed fitCount up to three times per row.
+	for r := range s.avail {
+		s.fitScratch[r] = s.fitCount(j, r)
+	}
 	weights := s.productWeights(j)
 	if row := s.pickWeightedRow(j, weights); row >= 0 {
 		return row, false
@@ -453,20 +516,20 @@ func (s *Scheduler) chooseRow(j *workload.Job) (int, bool) {
 // pickWeightedRow selects a row among those with positive weight and fitting
 // capacity, delegating to the installed RowChooser or falling back to
 // capacity-proportional sampling. Returns −1 when no row is eligible.
+// chooseRow has already filled fitScratch for the job in flight.
 func (s *Scheduler) pickWeightedRow(j *workload.Job, weights rowWeights) int {
 	if s.rowChooser != nil {
-		var eligible []int
+		eligible := s.eligScratch[:0]
 		for r := range s.avail {
-			if weights.at(r) > 0 && s.fitCount(j, r) > 0 {
+			if weights.at(r) > 0 && s.fitScratch[r] > 0 {
 				eligible = append(eligible, r)
 			}
 		}
+		s.eligScratch = eligible[:0]
 		if len(eligible) == 0 {
 			return -1
 		}
-		row := s.rowChooser.ChooseRow(s.rng, j, eligible,
-			func(r int) int { return s.fitCount(j, r) },
-			s.RowUtilization)
+		row := s.rowChooser.ChooseRow(s.rng, j, eligible, s.fitFn, s.utilFn)
 		for _, r := range eligible {
 			if r == row {
 				return row
@@ -474,28 +537,50 @@ func (s *Scheduler) pickWeightedRow(j *workload.Job, weights rowWeights) int {
 		}
 		// A chooser returning an ineligible row is a bug in the chooser;
 		// degrade to the default rather than misplace the job.
+		s.chooserDegraded(row)
 	}
 	total := 0.0
 	for r := range s.avail {
-		total += weights.at(r) * float64(s.fitCount(j, r))
+		total += weights.at(r) * float64(s.fitScratch[r])
 	}
 	if total <= 0 {
 		return -1
 	}
 	x := s.rng.Float64() * total
 	for r := range s.avail {
-		x -= weights.at(r) * float64(s.fitCount(j, r))
+		x -= weights.at(r) * float64(s.fitScratch[r])
 		if x < 0 {
 			return r
 		}
 	}
 	// Floating-point slack: fall through to the last eligible row.
 	for r := len(s.avail) - 1; r >= 0; r-- {
-		if weights.at(r) > 0 && s.fitCount(j, r) > 0 {
+		if weights.at(r) > 0 && s.fitScratch[r] > 0 {
 			return r
 		}
 	}
 	return -1
+}
+
+// chooserDegraded records a RowChooser returning an ineligible row: every
+// occurrence counts on /metrics, and the first occurrence per installed
+// chooser leaves a journal note (once, so a persistently buggy chooser
+// cannot evict the controller's decision history from the bounded ring).
+func (s *Scheduler) chooserDegraded(row int) {
+	if s.met != nil {
+		s.met.chooserDegraded.Inc()
+	}
+	if s.journal != nil && !s.chooserNoted {
+		s.chooserNoted = true
+		now := s.eng.Now()
+		s.journal.Append(obs.Event{
+			SimMS:   int64(now),
+			SimTime: now.String(),
+			Domain:  "scheduler",
+			Action:  "chooser-degraded",
+			Health:  fmt.Sprintf("RowChooser %q returned ineligible row %d; degraded to default sampling", s.rowChooser.Name(), row),
+		})
+	}
 }
 
 // fitCount approximates the number of servers on row r that fit j. For
@@ -548,12 +633,15 @@ func (s *Scheduler) pickInRow(j *workload.Job, row int) *cluster.Server {
 		return nil
 	}
 	if j.Containers > 1 {
-		fit := make([]*cluster.Server, 0, len(cands))
+		// Policies must not retain the candidate slice, so the filter buffer
+		// is per-scheduler scratch rather than a per-pick allocation.
+		fit := s.fitSrvScratch[:0]
 		for _, sv := range cands {
 			if sv.FreeContainers() >= j.Containers {
 				fit = append(fit, sv)
 			}
 		}
+		s.fitSrvScratch = fit[:0]
 		if len(fit) == 0 {
 			return nil
 		}
@@ -654,7 +742,13 @@ func (s *Scheduler) Reserve(id cluster.ServerID, containers int, cpu float64) er
 	if int(id) < 0 || int(id) >= len(s.c.Servers) {
 		return fmt.Errorf("scheduler: reserve on unknown server %d", id)
 	}
+	if containers < 0 {
+		return fmt.Errorf("scheduler: reserve of negative container count %d on server %d", containers, id)
+	}
 	sv := s.c.Server(id)
+	if sv.Failed() {
+		return fmt.Errorf("scheduler: reserve on failed server %d", id)
+	}
 	if sv.FreeContainers() < containers {
 		return fmt.Errorf("scheduler: server %d has %d free containers, need %d",
 			id, sv.FreeContainers(), containers)
@@ -707,12 +801,22 @@ func (s *Scheduler) RepairServer(id cluster.ServerID) error {
 	return nil
 }
 
-// Release returns containers previously reserved with Reserve.
+// Release returns containers previously reserved with Reserve. Releasing
+// more than is busy (or a negative count) is a caller bookkeeping error and
+// is reported like Freeze/Unfreeze errors rather than panicking inside
+// cluster.Server.Release.
 func (s *Scheduler) Release(id cluster.ServerID, containers int, cpu float64) error {
 	if int(id) < 0 || int(id) >= len(s.c.Servers) {
 		return fmt.Errorf("scheduler: release on unknown server %d", id)
 	}
+	if containers < 0 {
+		return fmt.Errorf("scheduler: release of negative container count %d on server %d", containers, id)
+	}
 	sv := s.c.Server(id)
+	if sv.Busy() < containers {
+		return fmt.Errorf("scheduler: release of %d containers on server %d with only %d busy",
+			containers, id, sv.Busy())
+	}
 	sv.Release(containers, cpu)
 	s.busyRow[sv.Row] -= containers
 	s.refreshAvail(sv)

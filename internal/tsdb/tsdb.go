@@ -7,6 +7,7 @@ package tsdb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -21,11 +22,27 @@ type Point struct {
 	V float64  `json:"v"`
 }
 
+// shardCount is the number of independently locked series-map shards. A
+// power of two so the hash can be masked. 64 comfortably exceeds the core
+// count of the machines the -parallel experiment runs target, so concurrent
+// HTTP queries of different series virtually never contend with the
+// monitor's append path.
+const shardCount = 64
+
+// shard is one lock + series-map pair. Each series lives in exactly one
+// shard (by name hash), so per-series timestamp ordering is still enforced
+// under a single lock.
+type shard struct {
+	mu     sync.RWMutex
+	series map[string][]Point
+}
+
 // DB stores named series of time-ordered points. It is safe for concurrent
-// use: the simulation appends while HTTP queries read.
+// use: the simulation appends while HTTP queries read. The lock is sharded
+// by series name so readers of one series never serialize against appends
+// to another.
 type DB struct {
-	mu        sync.RWMutex
-	series    map[string][]Point
+	shards    [shardCount]shard
 	retention int // max points kept per series; 0 = unlimited
 	met       *metrics
 }
@@ -40,7 +57,7 @@ type metrics struct {
 // Instrument registers the database's metrics on reg (nil is a no-op):
 //
 //	tsdb_appends_total            counter
-//	tsdb_append_errors_total      counter (out-of-order rejections)
+//	tsdb_append_errors_total      counter (out-of-order or non-finite rejections)
 //	tsdb_series                   gauge, collected at scrape time
 //	tsdb_points                   gauge, total retained points
 //	tsdb_query_duration_seconds   summary, wall-clock per Query
@@ -52,7 +69,7 @@ func (db *DB) Instrument(reg *obs.Registry) {
 	}
 	db.met = &metrics{
 		appends:      reg.Counter("tsdb_appends_total", "Samples appended across all series."),
-		appendErrors: reg.Counter("tsdb_append_errors_total", "Appends rejected (out-of-order timestamps)."),
+		appendErrors: reg.Counter("tsdb_append_errors_total", "Appends rejected (out-of-order timestamps or non-finite values)."),
 		queryDur: reg.Histogram("tsdb_query_duration_seconds",
 			"Wall-clock duration of one range query.", 1e-8, 10, 400),
 	}
@@ -65,16 +82,40 @@ func (db *DB) Instrument(reg *obs.Registry) {
 // New returns a DB that retains at most retentionPoints per series
 // (0 = unlimited).
 func New(retentionPoints int) *DB {
-	return &DB{series: make(map[string][]Point), retention: retentionPoints}
+	db := &DB{retention: retentionPoints}
+	for i := range db.shards {
+		db.shards[i].series = make(map[string][]Point)
+	}
+	return db
+}
+
+// shardOf returns the shard owning the named series (FNV-1a over the name).
+func (db *DB) shardOf(name string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &db.shards[h&(shardCount-1)]
 }
 
 // Append adds a sample to the named series. Timestamps must be
 // non-decreasing per series; out-of-order appends return an error (the
 // monitor never produces them, so an error indicates a wiring bug).
+// Non-finite values (NaN, ±Inf) are rejected: encoding/json cannot marshal
+// them, so a single poisoned sample would turn every later /query and
+// /latest on the series into a 500.
 func (db *DB) Append(name string, t sim.Time, v float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	pts := db.series[name]
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		if db.met != nil {
+			db.met.appendErrors.Inc()
+		}
+		return fmt.Errorf("tsdb: non-finite value %v appended to %q at %v", v, name, t)
+	}
+	sh := db.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pts := sh.series[name]
 	if n := len(pts); n > 0 && pts[n-1].T > t {
 		if db.met != nil {
 			db.met.appendErrors.Inc()
@@ -94,7 +135,7 @@ func (db *DB) Append(name string, t sim.Time, v float64) error {
 			pts = pts[len(pts)-db.retention:]
 		}
 	}
-	db.series[name] = pts
+	sh.series[name] = pts
 	return nil
 }
 
@@ -106,9 +147,10 @@ func (db *DB) Query(name string, from, to sim.Time) []Point {
 			db.met.queryDur.Observe(time.Since(start).Seconds())
 		}(time.Now())
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	pts := db.series[name]
+	sh := db.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	pts := sh.series[name]
 	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= from })
 	hi := sort.Search(len(pts), func(i int) bool { return pts[i].T > to })
 	if lo >= hi {
@@ -129,9 +171,10 @@ func (db *DB) Values(name string, from, to sim.Time) []float64 {
 
 // Latest returns the most recent point of the named series.
 func (db *DB) Latest(name string) (Point, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	pts := db.series[name]
+	sh := db.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	pts := sh.series[name]
 	if len(pts) == 0 {
 		return Point{}, false
 	}
@@ -140,36 +183,48 @@ func (db *DB) Latest(name string) (Point, bool) {
 
 // Len returns the number of retained points in the named series.
 func (db *DB) Len(name string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series[name])
+	sh := db.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.series[name])
 }
 
 // SeriesCount returns the number of retained series.
 func (db *DB) SeriesCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PointCount returns the total number of retained points across series.
 func (db *DB) PointCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, pts := range db.series {
-		n += len(pts)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, pts := range sh.series {
+			n += len(pts)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Names returns all series names, sorted.
 func (db *DB) Names() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.series))
-	for n := range db.series {
-		names = append(names, n)
+	var names []string
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for n := range sh.series {
+			names = append(names, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(names)
 	return names

@@ -1,0 +1,176 @@
+// Weak-scaling benchmarks for the simulation substrate: the same
+// 400-server paper row replicated 1× / 25× / 250× (400, 10k, 100k servers).
+// The contract under test is that per-server cost stays flat as the fleet
+// grows — a sweep is O(servers) with zero allocations, a placement is
+// O(rows) not O(servers), and a controller tick is O(servers) dominated by
+// reading each domain's samples. `make bench-scale` records the baseline to
+// BENCH_scale.json; the 400-server sub-benchmarks run in tier1 as a smoke
+// check of the allocation contracts.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/monitor"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+	"repro/internal/workload"
+)
+
+// scalePoints are the weak-scaling fleet sizes: rows of the default
+// 400-server paper row.
+var scalePoints = []struct {
+	name string
+	rows int
+}{
+	{"servers=400", 1},
+	{"servers=10000", 25},
+	{"servers=100000", 250},
+}
+
+func scaleSpec(rows int) cluster.Spec {
+	sp := cluster.DefaultSpec() // 20 racks × 20 servers = one 400-server row
+	sp.Rows = rows
+	return sp
+}
+
+func scaleCluster(b *testing.B, rows int) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(scaleSpec(rows), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkScaleSweep measures one monitor sweep over the whole fleet.
+// store=tsdb is the deployed configuration (row + rack series appended per
+// sweep through the sharded TSDB); store=none isolates the sampling and
+// incremental-aggregation path and additionally pins the scale contracts:
+// zero allocations per sweep (no per-sweep series names, no per-row scratch)
+// and allocation-free O(1) RowPower reads.
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, pt := range scalePoints {
+		b.Run(pt.name+"/store=tsdb", func(b *testing.B) {
+			eng := sim.NewEngine()
+			c := scaleCluster(b, pt.rows)
+			m, err := monitor.New(eng, c, tsdb.New(64), monitor.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(sim.Minute)
+				m.Sweep(now)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(c.Servers)), "ns/server")
+		})
+		b.Run(pt.name+"/store=none", func(b *testing.B) {
+			eng := sim.NewEngine()
+			c := scaleCluster(b, pt.rows)
+			m, err := monitor.New(eng, c, nil, monitor.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := sim.Time(0)
+			if allocs := testing.AllocsPerRun(5, func() {
+				now = now.Add(sim.Minute)
+				m.Sweep(now)
+			}); allocs != 0 {
+				b.Fatalf("Sweep allocates %.1f objects per run at %s, want 0", allocs, pt.name)
+			}
+			if allocs := testing.AllocsPerRun(5, func() {
+				for r := 0; r < c.Rows(); r++ {
+					m.RowPower(r)
+				}
+			}); allocs != 0 {
+				b.Fatalf("RowPower allocates %.1f objects per run at %s, want 0", allocs, pt.name)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(sim.Minute)
+				m.Sweep(now)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(c.Servers)), "ns/server")
+		})
+	}
+}
+
+// BenchmarkScalePlacement measures one job submission end to end. Cost is
+// O(rows) per placement (the cached per-row fit counts), so ns/op should
+// grow with row count but stay far below linear in servers.
+func BenchmarkScalePlacement(b *testing.B) {
+	for _, pt := range scalePoints {
+		b.Run(pt.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			c := scaleCluster(b, pt.rows)
+			s := scheduler.New(eng, c, 1, nil)
+			dd := workload.DefaultDurations()
+			r := sim.NewRNG(2)
+			// Drain often enough that even the 400-server fleet never
+			// saturates within one drain interval.
+			drainEvery := 256 * pt.rows
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Submit(&workload.Job{
+					ID: int64(i), Kind: workload.Batch, Product: -1,
+					Work: dd.Sample(r), CPU: 1, Containers: 1,
+				})
+				if i%drainEvery == drainEvery-1 {
+					eng.RunUntil(eng.Now().Add(20 * sim.Minute))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleControllerTick measures one control step across per-row
+// domains (1 / 25 / 250 domains of 400 servers each). A tick reads every
+// server's latest sample through the power reader, so ns/server is the
+// weak-scaling figure of merit.
+func BenchmarkScaleControllerTick(b *testing.B) {
+	for _, pt := range scalePoints {
+		b.Run(pt.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			sp := scaleSpec(pt.rows)
+			c, err := cluster.New(sp, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := scheduler.New(eng, c, 1, nil)
+			mon := newBenchMonitor(eng, c)
+			budget := sp.RowRatedPowerW() / 1.25
+			domains := make([]core.Domain, sp.Rows)
+			for r := 0; r < sp.Rows; r++ {
+				ids := make([]cluster.ServerID, 0, sp.ServersPerRow())
+				for _, sv := range c.Row(r) {
+					ids = append(ids, sv.ID)
+					sv.Allocate(8+int(sv.ID)%8, float64(8+int(sv.ID)%8))
+				}
+				domains[r] = core.Domain{
+					Name: monitor.SeriesRow(r), Servers: ids,
+					BudgetW: budget, Kr: experiment.DefaultKr,
+				}
+			}
+			ctl, err := core.New(eng, mon, s, core.DefaultConfig(), domains)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon.Sweep(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl.Step(sim.Time(i) * sim.Time(sim.Minute))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(c.Servers)), "ns/server")
+		})
+	}
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/awk -f
+# Converts `go test -bench` output into a JSON array, one record per
+# benchmark line. Metric units become keys verbatim ("ns/op", "B/op",
+# "allocs/op", plus custom b.ReportMetric units like "ns/server"), so the
+# baseline survives new metrics without script changes. Stdlib awk only —
+# the repo takes no dependencies for this.
+#
+#   go test -bench 'BenchmarkScale' -benchmem . | awk -f scripts/bench_to_json.awk
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+    line = sprintf("  {\"name\":\"%s\",\"iterations\":%s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2)
+        line = line sprintf(",\"%s\":%s", $(i + 1), $i)
+    line = line "}"
+    if (n++) print prev ","
+    prev = line
+}
+END { if (n) print prev; print "]" }
