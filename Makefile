@@ -3,7 +3,7 @@
 # runner suites with shuffled test order (order-dependence is how shared
 # state between parallel run units would first show up).
 .PHONY: tier1 build lint vet test race race-shuffle fuzz chaos bench-runner \
-	bench-scale bench-scale-quick
+	bench-scale bench-scale-quick bench-check
 
 tier1: build lint race race-shuffle bench-scale-quick
 
@@ -50,9 +50,22 @@ bench-scale:
 	rm -f BENCH_scale.txt
 
 # One-row smoke of the scale family (part of tier1): exercises every scale
-# benchmark once, which includes the zero-allocation sweep contract.
+# benchmark once, which includes the zero-allocation sweep contract and the
+# controller tick's steady-state allocation ceiling (benchControllerTick
+# fails the run outright when a tick allocates more than its budget).
 bench-scale-quick:
 	go test -run '^$$' -bench 'BenchmarkScale[A-Za-z]*/servers=400' -benchtime 1x .
+
+# Regression gate: re-runs the scale family and diffs ns/op against the
+# committed BENCH_scale.json, failing on any >25% slowdown. Run after
+# touching a hot path; refresh the baseline with `make bench-scale` when a
+# deliberate change moves the numbers.
+bench-check:
+	go test -run '^$$' -bench 'BenchmarkScale' -benchmem . > BENCH_fresh.txt
+	awk -f scripts/bench_to_json.awk BENCH_fresh.txt > BENCH_fresh.json
+	rm -f BENCH_fresh.txt
+	sh scripts/bench_compare BENCH_fresh.json BENCH_scale.json
+	rm -f BENCH_fresh.json
 
 # Records serial vs parallel wall-clock for the shrunken figure suite; on a
 # ≥4-core machine the parallel run should be ≥2× faster with byte-identical

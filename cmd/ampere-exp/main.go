@@ -5,7 +5,7 @@
 //
 //	ampere-exp -exp fig1|fig2|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|
 //	                table2|table3|spread|outage|chaos|ablations|scale|all
-//	           [-quick] [-seed N] [-out dir] [-parallel N]
+//	           [-quick] [-seed N] [-out dir] [-parallel N] [-ctl-parallel N]
 //
 // -quick shrinks cluster sizes and time spans for a fast pass (the same
 // configurations the test suite and benchmarks use); the default sizes
@@ -20,6 +20,10 @@
 // from its own seed and its report is buffered and printed in the fixed
 // experiment order, so stdout is byte-identical at any -parallel value;
 // per-experiment timing goes to stderr as runs complete.
+//
+// -ctl-parallel N additionally fans each controller's per-domain plan phase
+// across N workers (0/1 = serial, -1 = all CPUs). Side effects are always
+// applied serially in domain order, so this too never changes output.
 package main
 
 import (
@@ -38,10 +42,11 @@ import (
 
 // runCtx carries the shared CLI knobs into each experiment runner.
 type runCtx struct {
-	quick    bool
-	seed     uint64
-	outDir   string
-	parallel int
+	quick       bool
+	seed        uint64
+	outDir      string
+	parallel    int
+	ctlParallel int
 }
 
 func main() {
@@ -50,6 +55,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = per-experiment default)")
 	out := flag.String("out", "", "directory to also write plot-ready CSV series into")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for independent runs (1 = serial)")
+	ctlParallel := flag.Int("ctl-parallel", 0,
+		"controller plan-phase workers per domain set (0/1 = serial, -1 = all CPUs); output is identical at any value")
 	flag.Parse()
 
 	runners := map[string]func(io.Writer, runCtx) error{
@@ -85,7 +92,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	rc := runCtx{quick: *quick, seed: *seed, outDir: *out, parallel: *parallel}
+	rc := runCtx{quick: *quick, seed: *seed, outDir: *out, parallel: *parallel, ctlParallel: *ctlParallel}
 
 	// Each experiment renders into its own buffer; buffers are printed in
 	// the fixed order above, so stdout does not depend on completion order.
@@ -255,6 +262,7 @@ func runFig10Table2(w io.Writer, rc runCtx) error {
 	}
 	cfg.Seed = pick(rc.seed, cfg.Seed)
 	cfg.Parallel = rc.parallel
+	cfg.CtlParallel = rc.ctlParallel
 	res, err := experiment.RunTable2(cfg)
 	if err != nil {
 		return err
@@ -338,6 +346,7 @@ func runChaos(w io.Writer, rc runCtx) error {
 	}
 	cfg.Seed = pick(rc.seed, cfg.Seed)
 	cfg.Parallel = rc.parallel
+	cfg.CtlParallel = rc.ctlParallel
 	res, err := experiment.RunChaos(cfg)
 	if err != nil {
 		return err

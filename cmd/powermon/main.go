@@ -61,12 +61,15 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		journalCap = flag.Int("journal-cap", obs.DefaultJournalCap, "control-decision journal capacity (events)")
 		journalOut = flag.String("journal-out", "", "flush the journal to this JSONL file on shutdown")
+		ctlPar     = flag.Int("ctl-parallel", 0,
+			"controller plan-phase workers (0/1 = serial, -1 = all CPUs); decisions are identical at any value")
 	)
 	flag.Parse()
 	cfg := runConfig{
 		addr: *addr, tick: *tick, rows: *rows, rowServers: *rowServers,
 		target: *target, ro: *ro, ampere: *ampere, seed: *seed,
 		obs: *obsOn, pprof: *pprofOn, journalCap: *journalCap, journalOut: *journalOut,
+		ctlParallel: *ctlPar,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "powermon:", err)
@@ -75,18 +78,19 @@ func main() {
 }
 
 type runConfig struct {
-	addr       string
-	tick       time.Duration
-	rows       int
-	rowServers int
-	target     float64
-	ro         float64
-	ampere     bool
-	seed       uint64
-	obs        bool
-	pprof      bool
-	journalCap int
-	journalOut string
+	addr        string
+	tick        time.Duration
+	rows        int
+	rowServers  int
+	target      float64
+	ro          float64
+	ampere      bool
+	seed        uint64
+	obs         bool
+	pprof       bool
+	journalCap  int
+	journalOut  string
+	ctlParallel int
 }
 
 type status struct {
@@ -171,7 +175,9 @@ func run(cfg runConfig) error {
 				Kr: experiment.DefaultKr,
 			}
 		}
-		controller, err = core.New(rig.Eng, reader, api, core.DefaultConfig(), domains)
+		ccfg := core.DefaultConfig()
+		ccfg.Parallel = cfg.ctlParallel
+		controller, err = core.New(rig.Eng, reader, api, ccfg, domains)
 		if err != nil {
 			return err
 		}

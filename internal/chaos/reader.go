@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -12,11 +13,17 @@ import (
 // core.TimedPowerReader, so a resilient controller sees blackout staleness
 // through sample timestamps while a naive one silently consumes the frozen
 // snapshot — the same asymmetry a real monitor outage produces.
+//
+// The controller's parallel plan phase calls the read methods from multiple
+// goroutines, so the snapshot caches and injector counters are guarded by
+// mu. Fault decisions themselves are pure hashes of (seed, time, salt) —
+// they stay deterministic whatever the interleaving.
 type Reader struct {
 	in    *Injector
 	inner core.PowerReader
 	timed core.TimedPowerReader // non-nil when inner carries sample times
 
+	mu      sync.Mutex
 	groups  map[uint64]sample // last healthy reading per group
 	servers map[cluster.ServerID]sample
 }
@@ -60,6 +67,8 @@ func (r *Reader) sampleTime(ids []cluster.ServerID, now sim.Time) sim.Time {
 
 // GroupPower implements core.PowerReader with faults applied.
 func (r *Reader) GroupPower(ids []cluster.ServerID) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.in.eng.Now()
 	key := groupKey(ids)
 	if _, on := r.in.anyActive(ReadBlackout, now); on {
@@ -102,6 +111,8 @@ func (r *Reader) GroupPower(ids []cluster.ServerID) (float64, bool) {
 // ServerPower implements core.PowerReader. Ranking reads see the same
 // blackout and corruption faults as group reads.
 func (r *Reader) ServerPower(id cluster.ServerID) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.in.eng.Now()
 	if _, on := r.in.anyActive(ReadBlackout, now); on {
 		s, ok := r.servers[id]
@@ -131,6 +142,8 @@ func (r *Reader) ServerPower(id cluster.ServerID) (float64, bool) {
 // GroupSampleTime implements core.TimedPowerReader: during a blackout the
 // reported time is the frozen snapshot's, and lag faults age it further.
 func (r *Reader) GroupSampleTime(ids []cluster.ServerID) (sim.Time, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.in.eng.Now()
 	at := r.sampleTime(ids, now)
 	if _, on := r.in.anyActive(ReadBlackout, now); on {

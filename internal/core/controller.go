@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -84,6 +86,22 @@ type Config struct {
 	// select safe defaults; Resilience.Disabled restores the naive
 	// controller.
 	Resilience ResilienceConfig
+	// Parallel fans the read-and-decide phase of Step across that many
+	// worker goroutines, one domain at a time. 0 or 1 keeps the serial
+	// path; negative selects GOMAXPROCS; the count is capped at the domain
+	// count. Side effects — freeze/unfreeze API calls, journal events,
+	// frozen-set and counter updates that other domains could observe — are
+	// always applied serially in domain-index order, so results are
+	// byte-identical at any setting (the DESIGN.md §7 contract).
+	// SelectRandom forces the serial path: its shuffle consumes one shared
+	// random stream in domain order.
+	Parallel int
+	// EtWindow bounds each online HourlyEt hour bin to its most recent
+	// EtWindow observations (0 = unbounded, the paper's behavior). A
+	// one-minute interval adds 60 observations per bin per simulated day;
+	// the window caps month-long-simulation memory and keeps steady-state
+	// ticks allocation-free once every bin is full.
+	EtWindow int
 }
 
 // SelectionPolicy enumerates freeze-candidate orderings.
@@ -148,6 +166,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: EtDefault %v must be a finite non-negative number", c.EtDefault)
 	case c.Horizon < 0:
 		return fmt.Errorf("core: negative Horizon %d", c.Horizon)
+	case c.EtWindow < 0:
+		return fmt.Errorf("core: negative EtWindow %d", c.EtWindow)
 	}
 	return c.Resilience.validate()
 }
@@ -260,6 +280,48 @@ type domainState struct {
 	// apiWall accumulates wall-clock time spent in scheduler API calls
 	// during the current tick (instrumented controllers only).
 	apiWall time.Duration
+
+	// Per-tick plan/apply staging, reused across ticks so the steady-state
+	// control path allocates nothing. The plan phase (parallel-safe, reads
+	// only this domain's state) fills rank and the candidate lists; the
+	// apply phase (serial, domain-index order) executes them.
+	plan      tickPlan
+	rank      []serverPower // per-server power scratch for selection
+	unfCands  []serverPower // frozen ∉ S, in freeze-preference order
+	relCands  []serverPower // frozen set in release (reverse) order
+	frzCands  []serverPower // S ∖ frozen, in freeze-preference order
+	idScratch []cluster.ServerID
+	horizonEt []float64
+
+	// Journal staging (instrumented controllers only): the stats snapshot
+	// and health taken before the plan phase, and the plan phase wall-clock,
+	// folded into the decision event emitted after apply.
+	evBefore     DomainStats
+	healthBefore string
+	planWall     time.Duration
+}
+
+// planKind is what a domain's plan phase decided; the apply phase executes it.
+type planKind uint8
+
+const (
+	// planIdle leaves everything untouched (no sample and nothing to fall
+	// back on — the skip path records its counter during planning).
+	planIdle planKind = iota
+	// planHold is fail-safe mode: keep the frozen set exactly as it is.
+	planHold
+	// planRelease is a zero freeze target: unfreeze everything.
+	planRelease
+	// planReconcile drives the frozen set to plan.target using the staged
+	// candidate lists.
+	planReconcile
+)
+
+// tickPlan is one domain's staged decision for the current tick.
+type tickPlan struct {
+	kind     planKind
+	target   int
+	degraded bool
 }
 
 // Controller is the Ampere control loop. It is deliberately oblivious to
@@ -278,6 +340,12 @@ type Controller struct {
 	handle  *sim.Handle
 	selRNG  *rand.Rand // only used by SelectRandom
 	ins     *instrumentation
+
+	// loop fans the plan phase across domains when cfg.Parallel asks for
+	// it; planNow carries Step's tick time to the loop body (the body is a
+	// single closure built once in New, so ticking allocates nothing).
+	loop    *runner.Loop
+	planNow sim.Time
 
 	// mu guards the domain state so the operator HTTP API (Status, Healthz)
 	// can be served live while the event loop mutates counters. The control
@@ -332,7 +400,7 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 			ds.kr = cfg.DefaultKr
 		}
 		if ds.et == nil {
-			h, err := NewHourlyEt(cfg.EtPercentile, cfg.EtDefault, cfg.EtMinSamples)
+			h, err := NewWindowedHourlyEt(cfg.EtPercentile, cfg.EtDefault, cfg.EtMinSamples, cfg.EtWindow)
 			if err != nil {
 				return nil, err
 			}
@@ -344,6 +412,7 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 		}
 		ctl.domains = append(ctl.domains, ds)
 	}
+	ctl.loop = runner.NewLoop(func(i int) { ctl.tickPlan(ctl.domains[i], ctl.planNow) })
 	return ctl, nil
 }
 
@@ -413,6 +482,17 @@ func (c *Controller) Resync(isFrozen func(id cluster.ServerID) bool) {
 
 // Step executes one control tick for every domain. It is driven by Start's
 // periodic event and exported for tests and manual stepping.
+//
+// Each domain's tick is split into a plan phase — read power, classify the
+// sample, run the control law, stage the freeze/unfreeze candidates — and an
+// apply phase that executes the staged API calls, commits frozen-set and op
+// counters, and emits the journal event. The plan phase touches only its own
+// domain's state plus concurrency-safe readers, so with cfg.Parallel > 1 it
+// fans out across a worker pool; apply always runs serially in domain-index
+// order. Because a tick's reads do not depend on its own API calls (the
+// monitor snapshot only changes on a sweep), plan-all-then-apply-all is
+// decision-identical to the serial interleave — the parallel_test.go
+// byte-identity suite pins that equivalence.
 func (c *Controller) Step(now sim.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -420,19 +500,48 @@ func (c *Controller) Step(now sim.Time) {
 	if c.ins != nil && c.ins.tickDur != nil {
 		start = time.Now()
 	}
-	for _, ds := range c.domains {
-		c.tickDomain(ds, now)
+	if w := c.planWorkers(); w > 1 {
+		c.planNow = now
+		c.loop.Run(w, len(c.domains))
+		for _, ds := range c.domains {
+			c.tickApply(ds, now)
+		}
+	} else {
+		for _, ds := range c.domains {
+			c.tickPlan(ds, now)
+			c.tickApply(ds, now)
+		}
 	}
 	if c.ins != nil && c.ins.tickDur != nil {
 		c.ins.tickDur.Observe(time.Since(start).Seconds())
 	}
 }
 
-// stepDomain classifies this tick's reading — fresh, stale, or corrupt —
+// planWorkers resolves cfg.Parallel for this Step. SelectRandom always plans
+// serially: its shuffle draws from one shared stream in domain order.
+func (c *Controller) planWorkers() int {
+	w := c.cfg.Parallel
+	if w == 0 || w == 1 || c.cfg.Selection == SelectRandom {
+		return 1
+	}
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.domains) {
+		w = len(c.domains)
+	}
+	return w
+}
+
+// planDomain classifies this tick's reading — fresh, stale, or corrupt —
 // and dispatches to the control law, the degraded fallback, or fail-safe
-// hold. With resilience disabled it is exactly the original Algorithm 1
-// front end: trust anything the reader returns.
-func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
+// hold, staging the outcome in ds.plan. With resilience disabled it is
+// exactly the original Algorithm 1 front end: trust anything the reader
+// returns. It runs on a pool worker when the plan phase is parallel, so it
+// must only mutate ds and concurrency-safe shared state (the reader and the
+// Et estimator guard themselves).
+func (c *Controller) planDomain(ds *domainState, now sim.Time) {
+	ds.plan = tickPlan{kind: planIdle}
 	watts, at, ok := c.readGroup(ds.d.Servers, now)
 	p := watts / ds.d.BudgetW
 
@@ -441,7 +550,7 @@ func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
 			ds.stats.SkippedNoData++
 			return
 		}
-		c.controlTick(ds, now, p, p, false)
+		c.planControl(ds, now, p, p, false)
 		return
 	}
 
@@ -459,7 +568,7 @@ func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
 			ds.failSafe = false
 		}
 		ds.lastGoodP, ds.lastGoodAt, ds.haveGood = p, at, true
-		c.controlTick(ds, now, p, p, false)
+		c.planControl(ds, now, p, p, false)
 		return
 	}
 
@@ -487,21 +596,21 @@ func (c *Controller) stepDomain(ds *domainState, now sim.Time) {
 		ds.stats.Ticks++
 		ds.stats.PSum += ds.lastGoodP
 		ds.lastP, ds.lastTarget = ds.lastGoodP, len(ds.frozen)
-		c.recordU(ds)
+		ds.plan = tickPlan{kind: planHold}
 		return
 	}
 	// Degraded: fly on the last-known-good power, advanced by a
 	// conservatively inflated Et per dark interval — demand is assumed to
 	// keep rising at the inflated rate while we cannot see it.
 	pEff := ds.lastGoodP + float64(ds.dark)*c.res.EtInflation*ds.et.Estimate(now)
-	c.controlTick(ds, now, ds.lastGoodP, pEff, true)
+	c.planControl(ds, now, ds.lastGoodP, pEff, true)
 }
 
-// controlTick is Algorithm 1 for a single domain. pStat is the power
-// recorded in the statistics; pCtl is the (possibly forecast) power fed to
-// the control law. In degraded mode the controller never shrinks the frozen
-// set: a release decision needs fresh data.
-func (c *Controller) controlTick(ds *domainState, now sim.Time, pStat, pCtl float64, degraded bool) {
+// planControl is the decision half of Algorithm 1 for a single domain. pStat
+// is the power recorded in the statistics; pCtl is the (possibly forecast)
+// power fed to the control law. In degraded mode the controller never
+// shrinks the frozen set: a release decision needs fresh data.
+func (c *Controller) planControl(ds *domainState, now sim.Time, pStat, pCtl float64, degraded bool) {
 	ds.stats.Ticks++
 	ds.stats.PSum += pStat
 	if !degraded {
@@ -542,7 +651,10 @@ func (c *Controller) controlTick(ds *domainState, now sim.Time, pStat, pCtl floa
 	// when a predicted surge exceeds one interval's control authority.
 	var u float64
 	if c.cfg.Horizon > 1 {
-		e := make([]float64, c.cfg.Horizon)
+		if cap(ds.horizonEt) < c.cfg.Horizon {
+			ds.horizonEt = make([]float64, c.cfg.Horizon)
+		}
+		e := ds.horizonEt[:c.cfg.Horizon]
 		e[0] = et
 		for k := 1; k < c.cfg.Horizon; k++ {
 			e[k] = ds.et.Estimate(now.Add(sim.Duration(k) * c.cfg.Interval))
@@ -567,69 +679,12 @@ func (c *Controller) controlTick(ds *domainState, now sim.Time, pStat, pCtl floa
 	ds.lastTarget = nfreeze
 	if nfreeze == 0 {
 		// No imminent violation: release everything.
-		c.unfreezeAll(ds)
-		c.recordU(ds)
+		ds.plan = tickPlan{kind: planRelease}
 		return
 	}
 	ds.stats.ControlledTicks++
-
-	// Rank servers in freeze-preference order: by latest sampled power,
-	// hottest first under the paper's policy (ties by ID for determinism;
-	// servers without a sample sort last).
-	ranked := c.rankByPreference(ds)
-	top := ranked[:nfreeze]
-
-	// Candidate set S: the nfreeze preferred servers, plus — for stability
-	// under the hottest-first policy — every other server still hotter
-	// than rstable × the coldest member of the top set. A frozen server
-	// inside S is not cycled out merely because fresh jobs elsewhere
-	// overtook it. The ablation policies skip the stability augmentation:
-	// its threshold is meaningful only for a power-ordered preference.
-	inS := make(map[cluster.ServerID]bool, nfreeze*2)
-	for _, sp := range top {
-		inS[sp.id] = true
-	}
-	if c.cfg.Selection == SelectHottest {
-		pThreshold := c.cfg.RStable * top[nfreeze-1].power
-		for _, sp := range ranked[nfreeze:] {
-			if sp.power > pThreshold {
-				inS[sp.id] = true
-			}
-		}
-	}
-
-	// Unfreeze members that fell out of S (their power dropped enough).
-	// Skipped in degraded mode: the ranking is stale, and swapping frozen
-	// servers on stale data is churn without information.
-	if !degraded {
-		for _, sp := range ranked {
-			if ds.frozen[sp.id] && !inS[sp.id] {
-				c.unfreeze(ds, sp.id)
-			}
-		}
-	}
-
-	// Adjust the frozen count to exactly nfreeze.
-	if len(ds.frozen) > nfreeze {
-		// Release the least-preferred frozen servers first (deterministic
-		// choice of the algorithm's "arbitrary" servers).
-		for i := len(ranked) - 1; i >= 0 && len(ds.frozen) > nfreeze; i-- {
-			if ds.frozen[ranked[i].id] {
-				c.unfreeze(ds, ranked[i].id)
-			}
-		}
-	} else if len(ds.frozen) < nfreeze {
-		// Freeze the hottest members of S not yet frozen.
-		for _, sp := range ranked {
-			if len(ds.frozen) >= nfreeze {
-				break
-			}
-			if inS[sp.id] && !ds.frozen[sp.id] {
-				c.freeze(ds, sp.id)
-			}
-		}
-	}
-	c.recordU(ds)
+	ds.plan = tickPlan{kind: planReconcile, target: nfreeze, degraded: degraded}
+	c.stageReconcile(ds, nfreeze, degraded)
 }
 
 type serverPower struct {
@@ -637,38 +692,169 @@ type serverPower struct {
 	power float64
 }
 
-func (c *Controller) rankByPreference(ds *domainState) []serverPower {
-	ranked := make([]serverPower, 0, len(ds.d.Servers))
+// stageReconcile refreshes the domain's ranking scratch and stages the
+// unfreeze/release/freeze candidate lists the apply phase will execute. The
+// staged order reproduces the old fully-sorted walk exactly: candidates are
+// collected from the partially partitioned scratch (order-independent set
+// membership) and then sorted in the preference order the old code iterated
+// in, so the API call sequence — and with it every failure interleaving —
+// is unchanged.
+func (c *Controller) stageReconcile(ds *domainState, nfreeze int, degraded bool) {
+	rank := ds.rank[:0]
 	for _, id := range ds.d.Servers {
 		p, ok := c.reader.ServerPower(id)
 		if !ok || math.IsNaN(p) || p < 0 {
 			// No sample, or a corrupt one: least preferred. NaN must not
-			// reach the sort comparator — it breaks ordering transitivity.
+			// reach the comparators — it breaks ordering transitivity.
 			p = -1
 		}
-		ranked = append(ranked, serverPower{id: id, power: p})
+		rank = append(rank, serverPower{id: id, power: p})
 	}
+	ds.rank = rank
+	ds.unfCands = ds.unfCands[:0]
+	ds.relCands = ds.relCands[:0]
+	ds.frzCands = ds.frzCands[:0]
+
+	cmp, cmpRel := cmpHot, cmpHotRev
 	switch c.cfg.Selection {
 	case SelectColdest:
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].power != ranked[j].power {
-				return ranked[i].power < ranked[j].power
-			}
-			return ranked[i].id < ranked[j].id
-		})
+		cmp, cmpRel = cmpCold, cmpColdRev
 	case SelectRandom:
-		c.selRNG.Shuffle(len(ranked), func(i, j int) {
-			ranked[i], ranked[j] = ranked[j], ranked[i]
+		// Serial-only policy (planWorkers pins workers to 1): the shuffle
+		// consumes the shared selection stream in domain order. The shuffled
+		// slice order plays the role of the sorted ranking below.
+		c.selRNG.Shuffle(len(rank), func(i, j int) {
+			rank[i], rank[j] = rank[j], rank[i]
 		})
-	default: // SelectHottest
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].power != ranked[j].power {
-				return ranked[i].power > ranked[j].power
-			}
-			return ranked[i].id < ranked[j].id
-		})
+		c.stageShuffled(ds, nfreeze, degraded)
+		return
 	}
-	return ranked
+
+	// Candidate set S: the nfreeze preferred servers, plus — for stability
+	// under the hottest-first policy — every other server still hotter
+	// than rstable × the coldest member of the top set. A frozen server
+	// inside S is not cycled out merely because fresh jobs elsewhere
+	// overtook it. The ablation policies skip the stability augmentation:
+	// its threshold is meaningful only for a power-ordered preference.
+	// Instead of sorting the whole domain and building a membership map,
+	// quickselect partitions the scratch around the boundary element b (the
+	// old ranked[nfreeze-1]) and S membership becomes two comparisons.
+	b := selectTopK(rank, nfreeze, cmp)
+	stability := c.cfg.Selection == SelectHottest
+	pThreshold := c.cfg.RStable * b.power
+	inS := func(sp serverPower) bool {
+		if cmp(sp, b) <= 0 {
+			return true // within the top-nfreeze set
+		}
+		return stability && sp.power > pThreshold
+	}
+
+	// Unfreeze members that fell out of S (their power dropped enough).
+	// Skipped in degraded mode: the ranking is stale, and swapping frozen
+	// servers on stale data is churn without information.
+	if !degraded {
+		for _, sp := range rank {
+			if ds.frozen[sp.id] && !inS(sp) {
+				ds.unfCands = append(ds.unfCands, sp)
+			}
+		}
+		slices.SortFunc(ds.unfCands, cmp)
+	}
+	if len(ds.frozen) > nfreeze {
+		// The release branch may run (API failures in the unfreeze pass can
+		// leave any count between frozen−|unfCands| and frozen): stage every
+		// currently frozen server in release order; apply re-checks live.
+		for _, sp := range rank {
+			if ds.frozen[sp.id] {
+				ds.relCands = append(ds.relCands, sp)
+			}
+		}
+		slices.SortFunc(ds.relCands, cmpRel)
+	}
+	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
+		// The freeze branch may run: stage S ∖ frozen hottest-first.
+		for _, sp := range rank {
+			if !ds.frozen[sp.id] && inS(sp) {
+				ds.frzCands = append(ds.frzCands, sp)
+			}
+		}
+		slices.SortFunc(ds.frzCands, cmp)
+	}
+}
+
+// stageShuffled stages the SelectRandom candidate lists, where "preference
+// order" is the shuffled position: S is the first nfreeze entries of the
+// shuffled scratch and there is no stability augmentation.
+func (c *Controller) stageShuffled(ds *domainState, nfreeze int, degraded bool) {
+	rank := ds.rank
+	if !degraded {
+		for _, sp := range rank[nfreeze:] {
+			if ds.frozen[sp.id] {
+				ds.unfCands = append(ds.unfCands, sp)
+			}
+		}
+	}
+	if len(ds.frozen) > nfreeze {
+		for i := len(rank) - 1; i >= 0; i-- {
+			if ds.frozen[rank[i].id] {
+				ds.relCands = append(ds.relCands, rank[i])
+			}
+		}
+	}
+	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
+		for _, sp := range rank[:nfreeze] {
+			if !ds.frozen[sp.id] {
+				ds.frzCands = append(ds.frzCands, sp)
+			}
+		}
+	}
+}
+
+// applyDomain executes the staged plan: scheduler API calls, frozen-set
+// commits, op counters, retry scheduling. Always called serially in
+// domain-index order, whatever the plan-phase worker count, so the API call
+// stream and the journal are deterministic.
+func (c *Controller) applyDomain(ds *domainState, now sim.Time) {
+	switch ds.plan.kind {
+	case planIdle:
+		return
+	case planHold:
+		c.recordU(ds)
+	case planRelease:
+		c.unfreezeAll(ds)
+		c.recordU(ds)
+	case planReconcile:
+		target := ds.plan.target
+		for _, sp := range ds.unfCands {
+			if ds.frozen[sp.id] {
+				c.unfreeze(ds, sp.id)
+			}
+		}
+		// Adjust the frozen count to exactly the target.
+		if len(ds.frozen) > target {
+			// Release the least-preferred frozen servers first
+			// (deterministic choice of the algorithm's "arbitrary" servers).
+			for _, sp := range ds.relCands {
+				if len(ds.frozen) <= target {
+					break
+				}
+				if ds.frozen[sp.id] {
+					c.unfreeze(ds, sp.id)
+				}
+			}
+		} else if len(ds.frozen) < target {
+			// Freeze the most-preferred members of S not yet frozen.
+			for _, sp := range ds.frzCands {
+				if len(ds.frozen) >= target {
+					break
+				}
+				if !ds.frozen[sp.id] {
+					c.freeze(ds, sp.id)
+				}
+			}
+		}
+		c.recordU(ds)
+	}
 }
 
 func (c *Controller) freeze(ds *domainState, id cluster.ServerID) {
@@ -710,11 +896,14 @@ func (c *Controller) unfreezeAll(ds *domainState) {
 	if len(ds.frozen) == 0 {
 		return
 	}
-	ids := make([]cluster.ServerID, 0, len(ds.frozen))
+	// Reuse the domain's ID scratch: release-everything ticks recur on every
+	// demand trough, and rebuilding the slice each time was steady garbage.
+	ids := ds.idScratch[:0]
 	for id := range ds.frozen {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	ds.idScratch = ids
 	for _, id := range ids {
 		c.unfreeze(ds, id)
 	}

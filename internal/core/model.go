@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/sim"
@@ -71,48 +72,88 @@ func (c ConstantEt) Estimate(sim.Time) float64 { return float64(c) }
 // percentile (99.5 by default) of the bin matching the current hour —
 // "preparing for almost the largest change in observed history". It is safe
 // for concurrent use.
+//
+// Each bin is kept sorted by binary insertion (stats.SortedInsert), so an
+// Add costs O(log n) comparisons plus one copy and Estimate is O(1) via
+// stats.PercentileSorted — the controller's hot path never re-sorts history.
+// An optional window bounds every bin to its most recent observations,
+// capping month-long-simulation memory while keeping the estimate adaptive.
 type HourlyEt struct {
 	mu sync.Mutex
 	// Percentile of the per-hour increase distribution to use.
 	pct float64
 	// def is returned while a bin has too few observations.
 	def  float64
-	bins [24][]float64
-	// cached percentile per bin, invalidated on Add.
-	cache [24]float64
-	dirty [24]bool
+	bins [24]etBin
 	// minSamples gates the switch from def to the data-driven estimate.
 	minSamples int
+	// window bounds each bin to its most recent observations; 0 = unbounded.
+	window int
+}
+
+// etBin is one hour's observations, maintained in two orders at once: sorted
+// holds the values ascending for percentile reads, ring holds them in
+// arrival order (only when a window is set) so the oldest can be evicted.
+type etBin struct {
+	sorted []float64
+	ring   []float64
+	head   int // ring index of the oldest observation
 }
 
 // NewHourlyEt builds an estimator using the given percentile (e.g. 99.5) and
 // a conservative default margin used until a bin has at least minSamples
-// observations.
+// observations. Bins grow without bound; use NewWindowedHourlyEt to cap them.
 func NewHourlyEt(percentile, defaultEt float64, minSamples int) (*HourlyEt, error) {
+	return NewWindowedHourlyEt(percentile, defaultEt, minSamples, 0)
+}
+
+// NewWindowedHourlyEt is NewHourlyEt with each hour bin bounded to the most
+// recent window observations (0 = unbounded). A one-minute control interval
+// adds 60 observations per bin per simulated day, so a window of a few
+// hundred spans several days of history at fixed memory.
+func NewWindowedHourlyEt(percentile, defaultEt float64, minSamples, window int) (*HourlyEt, error) {
 	if percentile <= 0 || percentile > 100 {
 		return nil, fmt.Errorf("core: Et percentile %v outside (0, 100]", percentile)
 	}
 	if defaultEt < 0 {
 		return nil, fmt.Errorf("core: negative default Et %v", defaultEt)
 	}
+	if window < 0 {
+		return nil, fmt.Errorf("core: negative Et window %d", window)
+	}
 	if minSamples < 1 {
 		minSamples = 1
 	}
-	h := &HourlyEt{pct: percentile, def: defaultEt, minSamples: minSamples}
-	for i := range h.dirty {
-		h.dirty[i] = true
-	}
-	return h, nil
+	return &HourlyEt{pct: percentile, def: defaultEt, minSamples: minSamples, window: window}, nil
 }
 
 // Add records a normalized power increase observed over the interval that
 // started at t. Negative deltas (power decreases) are recorded too: they are
-// part of the distribution, though high percentiles ignore them.
+// part of the distribution, though high percentiles ignore them. Non-finite
+// deltas are dropped — a NaN from a corrupt reading would break the bin's
+// binary-search ordering and poison every later estimate.
 func (h *HourlyEt) Add(t sim.Time, delta float64) {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return
+	}
 	hr := t.HourOfDay()
 	h.mu.Lock()
-	h.bins[hr] = append(h.bins[hr], delta)
-	h.dirty[hr] = true
+	b := &h.bins[hr]
+	if h.window > 0 {
+		if len(b.ring) == h.window {
+			// Full: evict the oldest observation in arrival order.
+			old := b.ring[b.head]
+			b.ring[b.head] = delta
+			b.head++
+			if b.head == h.window {
+				b.head = 0
+			}
+			b.sorted, _ = stats.SortedRemove(b.sorted, old)
+		} else {
+			b.ring = append(b.ring, delta)
+		}
+	}
+	b.sorted = stats.SortedInsert(b.sorted, delta)
 	h.mu.Unlock()
 }
 
@@ -120,7 +161,7 @@ func (h *HourlyEt) Add(t sim.Time, delta float64) {
 func (h *HourlyEt) Samples(hr int) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.bins[hr%24])
+	return len(h.bins[hr%24].sorted)
 }
 
 // Estimate implements EtEstimator.
@@ -128,15 +169,11 @@ func (h *HourlyEt) Estimate(now sim.Time) float64 {
 	hr := now.HourOfDay()
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	bin := h.bins[hr]
+	bin := h.bins[hr].sorted
 	if len(bin) < h.minSamples {
 		return h.def
 	}
-	if h.dirty[hr] {
-		h.cache[hr] = stats.Percentile(bin, h.pct)
-		h.dirty[hr] = false
-	}
-	et := h.cache[hr]
+	et := stats.PercentileSorted(bin, h.pct)
 	if et < 0 {
 		// A uniformly decreasing hour still gets a non-negative margin:
 		// Et < 0 would raise the threshold above the budget.

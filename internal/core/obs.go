@@ -167,19 +167,34 @@ func sanitize(v float64) float64 {
 	return v
 }
 
-// tickDomain runs one domain's control tick, wrapped in decision-journal
-// capture when a journal is attached.
-func (c *Controller) tickDomain(ds *domainState, now sim.Time) {
+// tickPlan runs one domain's plan phase, snapshotting the pre-tick state the
+// journal event needs. Safe to run on a plan-pool worker: it writes only the
+// domain's own fields.
+func (c *Controller) tickPlan(ds *domainState, now sim.Time) {
 	if c.ins == nil || c.ins.journal == nil {
-		c.stepDomain(ds, now)
+		c.planDomain(ds, now)
 		return
 	}
-	before := ds.stats
-	healthBefore := ds.health()
+	ds.evBefore = ds.stats
+	ds.healthBefore = ds.health()
 	ds.apiWall = 0
 	start := time.Now()
-	c.stepDomain(ds, now)
-	c.ins.journal.Append(c.decisionEvent(ds, now, before, healthBefore, time.Since(start)))
+	c.planDomain(ds, now)
+	ds.planWall = time.Since(start)
+}
+
+// tickApply runs one domain's apply phase and emits the decision event.
+// Always called serially in domain-index order, so journal entries land in
+// the same order as the old single-phase tick.
+func (c *Controller) tickApply(ds *domainState, now sim.Time) {
+	if c.ins == nil || c.ins.journal == nil {
+		c.applyDomain(ds, now)
+		return
+	}
+	start := time.Now()
+	c.applyDomain(ds, now)
+	took := ds.planWall + time.Since(start)
+	c.ins.journal.Append(c.decisionEvent(ds, now, ds.evBefore, ds.healthBefore, took))
 }
 
 // decisionEvent reconstructs what the tick decided from the counter deltas

@@ -1,0 +1,100 @@
+package core
+
+// This file is the allocation-free ranking machinery behind the controller's
+// freeze-candidate selection. The old path built a fresh []serverPower and
+// fully sort.Slice'd it on every freezing tick — O(n log n) with an
+// interface-dispatched comparator, ~2 MB/tick of garbage at 100k servers.
+// The plan phase now refills a per-domain scratch slice, partially partitions
+// it with quickselect (O(n) expected), and only sorts the few candidates
+// actually staged for an API call.
+
+// cmpHot orders hottest-first, ties by ascending ID — the paper's freeze
+// preference. The comparators are a strict total order (IDs are unique
+// within a domain) and never see NaN: the rank fill maps missing or corrupt
+// samples to power -1.
+func cmpHot(a, b serverPower) int {
+	if a.power != b.power {
+		if a.power > b.power {
+			return -1
+		}
+		return 1
+	}
+	if a.id != b.id {
+		if a.id < b.id {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmpCold orders coldest-first, ties by ascending ID (the ablation policy).
+func cmpCold(a, b serverPower) int {
+	if a.power != b.power {
+		if a.power < b.power {
+			return -1
+		}
+		return 1
+	}
+	if a.id != b.id {
+		if a.id < b.id {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmpHotRev / cmpColdRev are the release orders: the reverse of the freeze
+// preference, matching the old path's backwards walk over the full ranking.
+func cmpHotRev(a, b serverPower) int { return cmpHot(b, a) }
+
+func cmpColdRev(a, b serverPower) int { return cmpCold(b, a) }
+
+// selectTopK partially partitions sp in place so that sp[:k] holds the k
+// most-preferred elements under cmp (in unspecified order) and returns the
+// boundary — the least-preferred member of that top set, i.e. the element
+// that a full sort would place at index k-1. Expected O(len(sp)) via
+// quickselect with median-of-three pivots; cmp must be a strict total order.
+// Requires 1 ≤ k ≤ len(sp).
+func selectTopK(sp []serverPower, k int, cmp func(a, b serverPower) int) serverPower {
+	lo, hi := 0, len(sp)-1
+	for lo < hi {
+		p := partitionPref(sp, lo, hi, cmp)
+		switch {
+		case p == k-1:
+			return sp[p]
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return sp[k-1]
+}
+
+// partitionPref is a Lomuto partition of sp[lo:hi+1] around a median-of-three
+// pivot, returning the pivot's final index.
+func partitionPref(sp []serverPower, lo, hi int, cmp func(a, b serverPower) int) int {
+	mid := lo + (hi-lo)/2
+	if cmp(sp[mid], sp[lo]) < 0 {
+		sp[mid], sp[lo] = sp[lo], sp[mid]
+	}
+	if cmp(sp[hi], sp[mid]) < 0 {
+		sp[hi], sp[mid] = sp[mid], sp[hi]
+		if cmp(sp[mid], sp[lo]) < 0 {
+			sp[mid], sp[lo] = sp[lo], sp[mid]
+		}
+	}
+	sp[mid], sp[hi] = sp[hi], sp[mid]
+	pivot := sp[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if cmp(sp[j], pivot) < 0 {
+			sp[i], sp[j] = sp[j], sp[i]
+			i++
+		}
+	}
+	sp[i], sp[hi] = sp[hi], sp[i]
+	return i
+}

@@ -1,0 +1,33 @@
+package stats
+
+import "sort"
+
+// SortedInsert inserts v into the ascending-sorted slice xs and returns the
+// extended slice (like append, the backing array is reused when capacity
+// allows). Equal values keep ascending order; the insertion point is found by
+// binary search, so one insert costs O(log n) comparisons plus the copy.
+//
+// Together with PercentileSorted this gives an incremental percentile: a
+// caller that inserts each observation as it arrives reads any percentile in
+// O(1) instead of re-sorting the whole sample (what Percentile does). The
+// slice must already be sorted; v must not be NaN (NaN breaks binary-search
+// ordering — callers filter it first, as the controller's Et estimator does).
+func SortedInsert(xs []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// SortedRemove removes one occurrence of v from the ascending-sorted slice
+// xs, returning the shrunk slice and whether v was found. The backing array
+// is reused. Like SortedInsert, v must not be NaN.
+func SortedRemove(xs []float64, v float64) ([]float64, bool) {
+	i := sort.SearchFloat64s(xs, v)
+	if i >= len(xs) || xs[i] != v {
+		return xs, false
+	}
+	copy(xs[i:], xs[i+1:])
+	return xs[:len(xs)-1], true
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property: inserting a random sequence one element at a time yields exactly
+// the sorted slice, and every percentile read off the incrementally
+// maintained slice equals Percentile over the raw data bit-for-bit (the
+// HourlyEt rewrite depends on this equivalence).
+func TestSortedInsertMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		raw := make([]float64, 0, n)
+		var inc []float64
+		for i := 0; i < n; i++ {
+			// Coarse quantization forces plenty of duplicates.
+			v := float64(rng.Intn(40))/8 - 2
+			raw = append(raw, v)
+			inc = SortedInsert(inc, v)
+		}
+		want := append([]float64(nil), raw...)
+		sort.Float64s(want)
+		if len(inc) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(inc), len(want))
+		}
+		for i := range want {
+			if inc[i] != want[i] {
+				t.Fatalf("trial %d: inc[%d]=%v, want %v", trial, i, inc[i], want[i])
+			}
+		}
+		for _, p := range []float64{0, 10, 50, 90, 99.5, 100} {
+			if got, want := PercentileSorted(inc, p), Percentile(raw, p); got != want {
+				t.Fatalf("trial %d: p%v = %v via incremental, %v via full sort", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// Property: random interleaved inserts and removes track a reference
+// multiset; removes of absent values report false and leave the slice alone.
+func TestSortedRemoveTracksMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var inc []float64
+	counts := map[float64]int{}
+	for step := 0; step < 2000; step++ {
+		v := float64(rng.Intn(12))
+		if rng.Intn(2) == 0 {
+			inc = SortedInsert(inc, v)
+			counts[v]++
+			continue
+		}
+		var ok bool
+		inc, ok = SortedRemove(inc, v)
+		if ok != (counts[v] > 0) {
+			t.Fatalf("step %d: remove(%v) ok=%v with count %d", step, v, ok, counts[v])
+		}
+		if ok {
+			counts[v]--
+		}
+	}
+	total := 0
+	for v, n := range counts {
+		total += n
+		lo := sort.SearchFloat64s(inc, v)
+		hi := sort.SearchFloat64s(inc, v+0.5)
+		if hi-lo != n {
+			t.Fatalf("value %v appears %d times, want %d", v, hi-lo, n)
+		}
+	}
+	if len(inc) != total {
+		t.Fatalf("len %d, want %d", len(inc), total)
+	}
+	if !sort.Float64sAreSorted(inc) {
+		t.Fatal("slice lost its ordering")
+	}
+}

@@ -34,7 +34,40 @@ const shardCount = 64
 // under a single lock.
 type shard struct {
 	mu     sync.RWMutex
-	series map[string][]Point
+	series map[string]*series
+}
+
+// defaultBlockCap is the fixed capacity of one storage block. Small enough
+// that an idle series wastes little, large enough that index math and the
+// blocks slice stay cheap at millions of points.
+const defaultBlockCap = 512
+
+// series is one named series stored as fixed-capacity blocks instead of a
+// single append-grown slice. Every block except the last is full, and start
+// (always < bc) counts points of blocks[0] already dropped by retention, so
+// retained point i lives at the globally computable position start+i. With
+// retention enabled the head block is recycled as the next tail block the
+// moment retention consumes it, so steady-state appends allocate nothing —
+// the old single-slice layout re-copied up to 2× retention points and showed
+// up as 256 allocs / 175 KB per 100k-server sweep.
+type series struct {
+	bc     int
+	blocks [][]Point
+	start  int     // points of blocks[0] consumed by retention
+	n      int     // retained point count
+	spare  []Point // one empty full-capacity block awaiting reuse
+}
+
+// at returns retained point i (0 ≤ i < n).
+func (s *series) at(i int) Point {
+	a := s.start + i
+	return s.blocks[a/s.bc][a%s.bc]
+}
+
+// last returns the most recently appended point; the series must be non-empty.
+func (s *series) last() Point {
+	blk := s.blocks[len(s.blocks)-1]
+	return blk[len(blk)-1]
 }
 
 // DB stores named series of time-ordered points. It is safe for concurrent
@@ -84,9 +117,19 @@ func (db *DB) Instrument(reg *obs.Registry) {
 func New(retentionPoints int) *DB {
 	db := &DB{retention: retentionPoints}
 	for i := range db.shards {
-		db.shards[i].series = make(map[string][]Point)
+		db.shards[i].series = make(map[string]*series)
 	}
 	return db
+}
+
+// newSeries sizes a fresh series' blocks: never larger than the retention
+// limit, so a short-retention series does not hold a mostly empty block.
+func (db *DB) newSeries() *series {
+	bc := defaultBlockCap
+	if db.retention > 0 && db.retention < bc {
+		bc = db.retention
+	}
+	return &series{bc: bc}
 }
 
 // shardOf returns the shard owning the named series (FNV-1a over the name).
@@ -115,27 +158,46 @@ func (db *DB) Append(name string, t sim.Time, v float64) error {
 	sh := db.shardOf(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	pts := sh.series[name]
-	if n := len(pts); n > 0 && pts[n-1].T > t {
+	s := sh.series[name]
+	if s == nil {
+		s = db.newSeries()
+		sh.series[name] = s
+	}
+	if s.n > 0 && s.last().T > t {
 		if db.met != nil {
 			db.met.appendErrors.Inc()
 		}
-		return fmt.Errorf("tsdb: out-of-order append to %q: %v after %v", name, t, pts[n-1].T)
+		return fmt.Errorf("tsdb: out-of-order append to %q: %v after %v", name, t, s.last().T)
 	}
 	if db.met != nil {
 		db.met.appends.Inc()
 	}
-	pts = append(pts, Point{T: t, V: v})
-	if db.retention > 0 && len(pts) > db.retention {
-		// Drop the oldest points; copy to release the backing array
-		// occasionally rather than on every append.
-		if len(pts) > db.retention*2 {
-			pts = append([]Point(nil), pts[len(pts)-db.retention:]...)
-		} else {
-			pts = pts[len(pts)-db.retention:]
+	tail := len(s.blocks) - 1
+	if tail < 0 || len(s.blocks[tail]) == s.bc {
+		blk := s.spare
+		s.spare = nil
+		if blk == nil {
+			blk = make([]Point, 0, s.bc)
+		}
+		s.blocks = append(s.blocks, blk)
+		tail++
+	}
+	s.blocks[tail] = append(s.blocks[tail], Point{T: t, V: v})
+	s.n++
+	if db.retention > 0 && s.n > db.retention {
+		// Drop the oldest point; when that empties the head block, recycle
+		// it as the next tail block instead of allocating.
+		s.n--
+		s.start++
+		if s.start == s.bc {
+			head := s.blocks[0]
+			copy(s.blocks, s.blocks[1:])
+			s.blocks[len(s.blocks)-1] = nil
+			s.blocks = s.blocks[:len(s.blocks)-1]
+			s.spare = head[:0]
+			s.start = 0
 		}
 	}
-	sh.series[name] = pts
 	return nil
 }
 
@@ -150,13 +212,21 @@ func (db *DB) Query(name string, from, to sim.Time) []Point {
 	sh := db.shardOf(name)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	pts := sh.series[name]
-	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= from })
-	hi := sort.Search(len(pts), func(i int) bool { return pts[i].T > to })
+	s := sh.series[name]
+	if s == nil || s.n == 0 {
+		return nil
+	}
+	lo := sort.Search(s.n, func(i int) bool { return s.at(i).T >= from })
+	hi := sort.Search(s.n, func(i int) bool { return s.at(i).T > to })
 	if lo >= hi {
 		return nil
 	}
-	return append([]Point(nil), pts[lo:hi]...)
+	out := make([]Point, hi-lo)
+	for k := lo; k < hi; {
+		a := s.start + k
+		k += copy(out[k-lo:], s.blocks[a/s.bc][a%s.bc:])
+	}
+	return out
 }
 
 // Values is Query returning only the sample values.
@@ -174,11 +244,11 @@ func (db *DB) Latest(name string) (Point, bool) {
 	sh := db.shardOf(name)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	pts := sh.series[name]
-	if len(pts) == 0 {
+	s := sh.series[name]
+	if s == nil || s.n == 0 {
 		return Point{}, false
 	}
-	return pts[len(pts)-1], true
+	return s.last(), true
 }
 
 // Len returns the number of retained points in the named series.
@@ -186,7 +256,10 @@ func (db *DB) Len(name string) int {
 	sh := db.shardOf(name)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return len(sh.series[name])
+	if s := sh.series[name]; s != nil {
+		return s.n
+	}
+	return 0
 }
 
 // SeriesCount returns the number of retained series.
@@ -207,8 +280,8 @@ func (db *DB) PointCount() int {
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
-		for _, pts := range sh.series {
-			n += len(pts)
+		for _, s := range sh.series {
+			n += s.n
 		}
 		sh.mu.RUnlock()
 	}

@@ -132,45 +132,72 @@ func BenchmarkScalePlacement(b *testing.B) {
 	}
 }
 
-// BenchmarkScaleControllerTick measures one control step across per-row
-// domains (1 / 25 / 250 domains of 400 servers each). A tick reads every
-// server's latest sample through the power reader, so ns/server is the
-// weak-scaling figure of merit.
+// benchControllerTick measures one control step across per-row domains with
+// the given plan-phase worker count (core.Config.Parallel). A tick reads
+// every server's latest sample through the power reader, so ns/server is the
+// weak-scaling figure of merit. The bench warms the controller through one
+// full simulated day first: that fills every bounded hour-of-day Et bin and
+// all per-domain ranking scratch, after which a steady-state tick must stay
+// under the allocation ceiling — the contract behind the §8 rewrite.
+func benchControllerTick(b *testing.B, rows, workers int) {
+	const steadyAllocCeiling = 10
+	eng := sim.NewEngine()
+	sp := scaleSpec(rows)
+	c, err := cluster.New(sp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := scheduler.New(eng, c, 1, nil)
+	mon := newBenchMonitor(eng, c)
+	budget := sp.RowRatedPowerW() / 1.25
+	domains := make([]core.Domain, sp.Rows)
+	for r := 0; r < sp.Rows; r++ {
+		ids := make([]cluster.ServerID, 0, sp.ServersPerRow())
+		for _, sv := range c.Row(r) {
+			ids = append(ids, sv.ID)
+			sv.Allocate(8+int(sv.ID)%8, float64(8+int(sv.ID)%8))
+		}
+		domains[r] = core.Domain{
+			Name: monitor.SeriesRow(r), Servers: ids,
+			BudgetW: budget, Kr: experiment.DefaultKr,
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Parallel = workers
+	cfg.EtWindow = 60 // one hour of 1-minute samples per hour-of-day bin
+	ctl, err := core.New(eng, mon, s, cfg, domains)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.Sweep(0)
+	tick := 0
+	step := func() {
+		ctl.Step(sim.Time(tick) * sim.Time(sim.Minute))
+		tick++
+	}
+	for tick < 1500 {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(10, step); allocs > steadyAllocCeiling {
+		b.Fatalf("steady-state controller tick allocates %.1f objects, ceiling %d",
+			allocs, steadyAllocCeiling)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(c.Servers)), "ns/server")
+}
+
+// BenchmarkScaleControllerTick runs each fleet size serially (sub-benchmark
+// names unchanged so bench_compare can join against the recorded baseline)
+// and with the plan phase fanned across 2 and all-CPU workers.
 func BenchmarkScaleControllerTick(b *testing.B) {
 	for _, pt := range scalePoints {
-		b.Run(pt.name, func(b *testing.B) {
-			eng := sim.NewEngine()
-			sp := scaleSpec(pt.rows)
-			c, err := cluster.New(sp, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s := scheduler.New(eng, c, 1, nil)
-			mon := newBenchMonitor(eng, c)
-			budget := sp.RowRatedPowerW() / 1.25
-			domains := make([]core.Domain, sp.Rows)
-			for r := 0; r < sp.Rows; r++ {
-				ids := make([]cluster.ServerID, 0, sp.ServersPerRow())
-				for _, sv := range c.Row(r) {
-					ids = append(ids, sv.ID)
-					sv.Allocate(8+int(sv.ID)%8, float64(8+int(sv.ID)%8))
-				}
-				domains[r] = core.Domain{
-					Name: monitor.SeriesRow(r), Servers: ids,
-					BudgetW: budget, Kr: experiment.DefaultKr,
-				}
-			}
-			ctl, err := core.New(eng, mon, s, core.DefaultConfig(), domains)
-			if err != nil {
-				b.Fatal(err)
-			}
-			mon.Sweep(0)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ctl.Step(sim.Time(i) * sim.Time(sim.Minute))
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(c.Servers)), "ns/server")
-		})
+		pt := pt
+		b.Run(pt.name, func(b *testing.B) { benchControllerTick(b, pt.rows, 0) })
+		b.Run(pt.name+"/parallel=2", func(b *testing.B) { benchControllerTick(b, pt.rows, 2) })
+		b.Run(pt.name+"/parallel=ncpu", func(b *testing.B) { benchControllerTick(b, pt.rows, -1) })
 	}
 }
