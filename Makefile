@@ -2,10 +2,10 @@
 # pass the full suite under the race detector, and pass the experiment +
 # runner suites with shuffled test order (order-dependence is how shared
 # state between parallel run units would first show up).
-.PHONY: tier1 build lint vet test race race-shuffle fuzz chaos bench-runner \
-	bench-scale bench-scale-quick bench-check
+.PHONY: tier1 build lint vet test race race-shuffle fuzz fuzz-smoke chaos \
+	bench-runner bench-scale bench-scale-quick bench-check gridstorm
 
-tier1: build lint race race-shuffle bench-scale-quick
+tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke
 
 build:
 	go build ./...
@@ -31,11 +31,25 @@ race:
 race-shuffle:
 	go test -race -shuffle=on ./internal/experiment/... ./internal/runner/...
 
-# Short live-fuzz pass over the two fuzz targets (the committed seed corpus
+# Short live-fuzz pass over every fuzz target (the committed seed corpus
 # already replays in `make test`).
 fuzz:
 	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
+	go test ./internal/scenario/ -fuzz FuzzBudgetSchedule -fuzztime 30s
 	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
+
+# Tier-1's fuzz gate: a quick live pass over each target on top of the
+# committed-corpus replay, short enough to keep the merge gate fast.
+fuzz-smoke:
+	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
+	go test ./internal/scenario/ -fuzz FuzzBudgetSchedule -fuzztime 30s
+	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
+
+# The grid-event resilience experiment: the same 20% curtailment as a cliff
+# and ramp-limited, quick scale (full 100k: `go run ./cmd/ampere-exp -exp
+# gridstorm`).
+gridstorm:
+	go run ./cmd/ampere-exp -exp gridstorm -quick
 
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:
@@ -43,9 +57,11 @@ chaos:
 
 # Weak-scaling baseline: the BenchmarkScale{Sweep,Placement,ControllerTick}
 # family at 400 / 10k / 100k servers, recorded to BENCH_scale.json for
-# regression comparison (see docs/OPERATIONS.md for how to read it).
+# regression comparison (see docs/OPERATIONS.md for how to read it). Three
+# repetitions per benchmark; bench_to_json keeps the fastest, so one noisy
+# run on a shared machine doesn't poison the baseline.
 bench-scale:
-	go test -run '^$$' -bench 'BenchmarkScale' -benchmem . | tee BENCH_scale.txt
+	go test -run '^$$' -bench 'BenchmarkScale' -count=3 -benchmem . | tee BENCH_scale.txt
 	awk -f scripts/bench_to_json.awk BENCH_scale.txt > BENCH_scale.json
 	rm -f BENCH_scale.txt
 
@@ -56,12 +72,13 @@ bench-scale:
 bench-scale-quick:
 	go test -run '^$$' -bench 'BenchmarkScale[A-Za-z]*/servers=400' -benchtime 1x .
 
-# Regression gate: re-runs the scale family and diffs ns/op against the
-# committed BENCH_scale.json, failing on any >25% slowdown. Run after
-# touching a hot path; refresh the baseline with `make bench-scale` when a
-# deliberate change moves the numbers.
+# Regression gate: re-runs the scale family (min of three repetitions, same
+# noise discipline as the baseline) and diffs ns/op against the committed
+# BENCH_scale.json, failing on any >25% slowdown. Run after touching a hot
+# path; refresh the baseline with `make bench-scale` when a deliberate
+# change moves the numbers.
 bench-check:
-	go test -run '^$$' -bench 'BenchmarkScale' -benchmem . > BENCH_fresh.txt
+	go test -run '^$$' -bench 'BenchmarkScale' -count=3 -benchmem . > BENCH_fresh.txt
 	awk -f scripts/bench_to_json.awk BENCH_fresh.txt > BENCH_fresh.json
 	rm -f BENCH_fresh.txt
 	sh scripts/bench_compare BENCH_fresh.json BENCH_scale.json

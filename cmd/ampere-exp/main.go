@@ -4,7 +4,8 @@
 // Usage:
 //
 //	ampere-exp -exp fig1|fig2|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|
-//	                table2|table3|spread|outage|chaos|ablations|scale|all
+//	                table2|table3|spread|outage|chaos|ablations|scale|
+//	                gridstorm|all
 //	           [-quick] [-seed N] [-out dir] [-parallel N] [-ctl-parallel N]
 //
 // -quick shrinks cluster sizes and time spans for a fast pass (the same
@@ -77,10 +78,11 @@ func main() {
 		"chaos":     runChaos,
 		"ablations": runAblations,
 		"scale":     runScale,
+		"gridstorm": runGridstorm,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations",
-		"scale"}
+		"scale", "gridstorm"}
 
 	var ids []string
 	if *exp == "all" {
@@ -412,6 +414,25 @@ func runScale(w io.Writer, rc runCtx) error {
 	}
 	experiment.FormatScale(w, rows)
 	experiment.FormatScaleTiming(os.Stderr, rows, cfg.Measure)
+	return nil
+}
+
+// runGridstorm replays the same 20 % grid curtailment as a cliff and as a
+// ramp-limited schedule over a 100k-server fleet (quick: 320 servers) and
+// reports breaker trips, violation windows and recovery for each regime.
+func runGridstorm(w io.Writer, rc runCtx) error {
+	cfg := experiment.DefaultGridstorm()
+	if rc.quick {
+		cfg = experiment.QuickGridstorm()
+	}
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
+	cfg.CtlParallel = rc.ctlParallel
+	runs, err := experiment.RunGridstorm(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatGridstorm(w, cfg, runs)
 	return nil
 }
 

@@ -5,6 +5,7 @@
 // curl while power moves:
 //
 //	powermon -addr :8080 -tick 200ms -ampere
+//	powermon -dr-at 30 -dr-depth 0.2 -dr-dwell 60 -dr-ramp 0.02
 //	curl 'http://localhost:8080/series'
 //	curl 'http://localhost:8080/query?name=row/0&from=0'
 //	curl 'http://localhost:8080/latest?name=dc'
@@ -20,6 +21,11 @@
 // -pprof additionally mounts net/http/pprof under /debug/pprof/. On SIGINT
 // or SIGTERM the server drains in-flight requests and, when -journal-out is
 // set, flushes the journal to that path as JSONL before exiting.
+//
+// The -dr-* flags schedule one demand-response event: at -dr-at simulated
+// minutes every row budget dips by -dr-depth for -dr-dwell minutes, applied
+// -dr-ramp per tick (0 = cliff). Breakers follow the effective budget, so
+// /metrics shows the heat consequences of the chosen ramp rate live.
 package main
 
 import (
@@ -63,6 +69,10 @@ func main() {
 		journalOut = flag.String("journal-out", "", "flush the journal to this JSONL file on shutdown")
 		ctlPar     = flag.Int("ctl-parallel", 0,
 			"controller plan-phase workers (0/1 = serial, -1 = all CPUs); decisions are identical at any value")
+		drAt    = flag.Float64("dr-at", 0, "demand-response event start, simulated minutes (0 = none)")
+		drDepth = flag.Float64("dr-depth", 0.2, "demand-response curtailment depth, fraction of budget")
+		drDwell = flag.Float64("dr-dwell", 60, "demand-response dwell, simulated minutes")
+		drRamp  = flag.Float64("dr-ramp", 0.02, "budget ramp limit per tick as fraction of base (0 = cliff)")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -70,6 +80,7 @@ func main() {
 		target: *target, ro: *ro, ampere: *ampere, seed: *seed,
 		obs: *obsOn, pprof: *pprofOn, journalCap: *journalCap, journalOut: *journalOut,
 		ctlParallel: *ctlPar,
+		drAt:        *drAt, drDepth: *drDepth, drDwell: *drDwell, drRamp: *drRamp,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "powermon:", err)
@@ -91,6 +102,10 @@ type runConfig struct {
 	journalCap  int
 	journalOut  string
 	ctlParallel int
+	drAt        float64
+	drDepth     float64
+	drDwell     float64
+	drRamp      float64
 }
 
 type status struct {
@@ -99,6 +114,9 @@ type status struct {
 	SimMinutes int64     `json:"sim_minutes"`
 	RowPowerW  []float64 `json:"row_power_w"`
 	BudgetW    float64   `json:"row_budget_w"`
+	// EffectiveW is each row's currently enforced budget — it departs from
+	// BudgetW while a demand-response event is in force.
+	EffectiveW []float64 `json:"effective_budget_w,omitempty"`
 	Frozen     []int     `json:"frozen_per_row"`
 	Violations []int64   `json:"violations_per_row"`
 }
@@ -162,6 +180,28 @@ func run(cfg runConfig) error {
 		api = inj.WrapAPI(rig.Sched)
 	}
 
+	// An optional demand-response event, identical for every row: dip at
+	// dr-at for dr-dwell minutes, ramp-limited by dr-ramp.
+	var sched *core.BudgetSchedule
+	if cfg.drAt > 0 {
+		if cfg.drDepth <= 0 || cfg.drDepth >= 1 {
+			return fmt.Errorf("dr-depth %v outside (0,1)", cfg.drDepth)
+		}
+		if cfg.drDwell <= 0 {
+			return fmt.Errorf("dr-dwell %v must be positive", cfg.drDwell)
+		}
+		sched = &core.BudgetSchedule{
+			RampFrac: cfg.drRamp,
+			Steps: []core.BudgetStep{
+				{At: minutesToTime(cfg.drAt), BudgetW: budget * (1 - cfg.drDepth)},
+				{At: minutesToTime(cfg.drAt + cfg.drDwell), BudgetW: budget},
+			},
+		}
+		if err := sched.Validate(budget); err != nil {
+			return err
+		}
+	}
+
 	var controller *core.Controller
 	if cfg.ampere {
 		domains := make([]core.Domain, cfg.rows)
@@ -172,7 +212,7 @@ func run(cfg runConfig) error {
 			}
 			domains[r] = core.Domain{
 				Name: fmt.Sprintf("row/%d", r), Servers: ids, BudgetW: budget,
-				Kr: experiment.DefaultKr,
+				Kr: experiment.DefaultKr, Schedule: sched,
 			}
 		}
 		ccfg := core.DefaultConfig()
@@ -182,12 +222,14 @@ func run(cfg runConfig) error {
 			return err
 		}
 		controller.Instrument(reg, journal)
-		controller.Start()
+	} else if sched != nil {
+		return fmt.Errorf("dr-at needs -ampere: the schedule is enforced by the controller")
 	}
 
 	// Observational per-row breakers: they evaluate the real trip curve and
 	// export heat/trip metrics, but carry no OnTrip callback, so an overload
 	// is visible on /metrics without blast-radius consequences in the sim.
+	var breakers []*breaker.Breaker
 	if cfg.obs {
 		for r := 0; r < cfg.rows; r++ {
 			b, err := breaker.New(rig.Eng, breaker.DefaultConfig(budget), rig.Cluster.Row(r))
@@ -196,7 +238,18 @@ func run(cfg runConfig) error {
 			}
 			b.Instrument(reg, fmt.Sprintf("row/%d", r))
 			b.Start()
+			breakers = append(breakers, b)
 		}
+	}
+	if controller != nil {
+		// The relay on a curtailed feed protects the reduced limit, not the
+		// nameplate one, so breakers follow every effective-budget movement.
+		controller.OnBudgetChange(func(bc core.BudgetChange) {
+			if bc.Domain < len(breakers) {
+				_ = breakers[bc.Domain].SetBudget(bc.NewW)
+			}
+		})
+		controller.Start()
 	}
 
 	st := &status{BudgetW: budget}
@@ -227,12 +280,14 @@ func run(cfg runConfig) error {
 			st.SimTime = rig.Eng.Now().String()
 			st.SimMinutes = rig.Eng.Now().Minute()
 			st.RowPowerW = st.RowPowerW[:0]
+			st.EffectiveW = st.EffectiveW[:0]
 			st.Frozen = st.Frozen[:0]
 			st.Violations = st.Violations[:0]
 			for r := 0; r < cfg.rows; r++ {
 				p, _ := rig.Mon.RowPower(r)
 				st.RowPowerW = append(st.RowPowerW, p)
 				if controller != nil {
+					st.EffectiveW = append(st.EffectiveW, controller.EffectiveBudget(r))
 					st.Frozen = append(st.Frozen, controller.FrozenCount(r))
 					st.Violations = append(st.Violations, controller.Stats(r).Violations)
 				}
@@ -304,6 +359,10 @@ func run(cfg runConfig) error {
 	}
 	return flushJournal(journal, cfg.journalOut)
 }
+
+// minutesToTime converts a (possibly fractional) simulated-minute offset to
+// an absolute sim.Time.
+func minutesToTime(m float64) sim.Time { return sim.Time(m * float64(sim.Minute)) }
 
 // flushJournal writes the journal to path as JSONL. A nil journal or empty
 // path is a no-op, so plain Ctrl-C exits stay silent.

@@ -143,6 +143,22 @@ func (b *Breaker) Stop() {
 // Tripped reports whether the breaker has opened, and when.
 func (b *Breaker) Tripped() (bool, sim.Time) { return b.tripped, b.tripTime }
 
+// SetBudget retargets the protected limit — a grid curtailment moves the
+// enforceable envelope, and the relay protecting the curtailed feed trips
+// against the reduced limit, not the nameplate one. The thermal accumulator
+// carries over: heat built against the old limit does not reset merely
+// because the limit moved.
+func (b *Breaker) SetBudget(w float64) error {
+	if !(w > 0) { // rejects NaN too
+		return fmt.Errorf("breaker: budget %v must be positive", w)
+	}
+	b.cfg.BudgetW = w
+	return nil
+}
+
+// Budget returns the currently protected limit in watts.
+func (b *Breaker) Budget() float64 { return b.cfg.BudgetW }
+
 // Heat returns the thermal accumulator as a fraction of the trip threshold.
 func (b *Breaker) Heat() float64 { return b.heat / b.cfg.TripOverloadSeconds }
 

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBudgetDipValidation(t *testing.T) {
+	bads := []Fault{
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Hour), Rate: 0, Depth: 0.2, Dwell: sim.Hour},
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Hour), Rate: 1, Depth: 0, Dwell: sim.Hour},
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Hour), Rate: 1, Depth: 1, Dwell: sim.Hour},
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Hour), Rate: 1, Depth: 0.2, Dwell: 0},
+	}
+	for i, f := range bads {
+		if err := (Plan{Faults: []Fault{f}}).Validate(); err == nil {
+			t.Errorf("bad budget-dip fault %d accepted: %+v", i, f)
+		}
+	}
+	good := Plan{Faults: []Fault{
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Hour), Rate: 0.01, Depth: 0.2, Dwell: 30 * sim.Minute},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid budget-dip plan rejected: %v", err)
+	}
+}
+
+// TestBudgetDipDeterministicWindow pins the Rate-1 single-onset pattern the
+// gridstorm experiment uses: a dip window one minute wide fires exactly one
+// onset, and the multiplier holds 1−Depth for precisely Dwell.
+func TestBudgetDipDeterministicWindow(t *testing.T) {
+	storm := sim.Time(60 * sim.Minute)
+	dwell := 30 * sim.Minute
+	in, err := New(sim.NewEngine(), Plan{Seed: 7, Faults: []Fault{{
+		Kind: BudgetDip, From: storm, To: storm.Add(sim.Minute),
+		Rate: 1, Depth: 0.2, Dwell: dwell,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		now  sim.Time
+		want float64
+	}{
+		{0, 1},
+		{storm - 1, 1},
+		{storm, 0.8},
+		{storm.Add(dwell - 1), 0.8},
+		{storm.Add(dwell), 1},
+		{storm.Add(2 * dwell), 1},
+	}
+	for _, c := range cases {
+		if got := in.BudgetMultiplier(c.now); got != c.want {
+			t.Errorf("BudgetMultiplier(%v) = %v, want %v", c.now, got, c.want)
+		}
+	}
+}
+
+// TestBudgetDipScheduleIndependentOfQueries checks the defining chaos
+// property: the multiplier is a pure function of time, so asking twice — or
+// in any order — returns identical answers.
+func TestBudgetDipScheduleIndependentOfQueries(t *testing.T) {
+	plan := Plan{Seed: 42, Faults: []Fault{{
+		Kind: BudgetDip, From: 0, To: sim.Time(6 * sim.Hour),
+		Rate: 0.05, Depth: 0.15, Dwell: 20 * sim.Minute,
+	}}}
+	a, _ := New(sim.NewEngine(), plan)
+	b, _ := New(sim.NewEngine(), plan)
+	sawDip := false
+	for m := int64(0); m < 6*60; m++ {
+		now := sim.Time(m * int64(sim.Minute))
+		va := a.BudgetMultiplier(now)
+		// Query b in reverse order afterwards; also re-query a.
+		if va != a.BudgetMultiplier(now) {
+			t.Fatalf("re-query at %v disagreed", now)
+		}
+		if va < 1 {
+			sawDip = true
+		}
+	}
+	for m := int64(6*60) - 1; m >= 0; m-- {
+		now := sim.Time(m * int64(sim.Minute))
+		if a.BudgetMultiplier(now) != b.BudgetMultiplier(now) {
+			t.Fatalf("independent injectors disagreed at %v", now)
+		}
+	}
+	if !sawDip {
+		t.Fatal("6 h at 5 %/min onset rate produced no dip — hash likely broken")
+	}
+}
+
+func TestBudgetDipDeepestWins(t *testing.T) {
+	in, err := New(sim.NewEngine(), Plan{Seed: 1, Faults: []Fault{
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Minute), Rate: 1, Depth: 0.1, Dwell: sim.Hour},
+		{Kind: BudgetDip, From: 0, To: sim.Time(sim.Minute), Rate: 1, Depth: 0.3, Dwell: 30 * sim.Minute},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.BudgetMultiplier(sim.Time(10 * sim.Minute)); got != 0.7 {
+		t.Fatalf("overlapping dips: multiplier %v, want 0.7 (deepest wins)", got)
+	}
+	if got := in.BudgetMultiplier(sim.Time(40 * sim.Minute)); got != 0.9 {
+		t.Fatalf("after deep dip ends: multiplier %v, want 0.9", got)
+	}
+}
+
+func TestDriveBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	storm := sim.Time(10 * sim.Minute)
+	in, err := New(eng, Plan{Seed: 3, Faults: []Fault{{
+		Kind: BudgetDip, From: storm, To: storm.Add(sim.Minute),
+		Rate: 1, Depth: 0.2, Dwell: 5 * sim.Minute,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type change struct {
+		at   sim.Time
+		mult float64
+	}
+	var got []change
+	in.DriveBudget(0, sim.Minute, func(now sim.Time, mult float64) {
+		got = append(got, change{now, mult})
+	})
+	if err := eng.RunUntil(sim.Time(30 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	want := []change{
+		{storm, 0.8},
+		{storm.Add(5 * sim.Minute), 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d apply calls %+v, want %+v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("apply call %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := in.Stats()
+	if st.BudgetDips != 1 {
+		t.Errorf("BudgetDips = %d, want 1", st.BudgetDips)
+	}
+	if st.CurtailedIntervals != 5 {
+		t.Errorf("CurtailedIntervals = %d, want 5", st.CurtailedIntervals)
+	}
+}

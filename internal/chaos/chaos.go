@@ -52,6 +52,14 @@ const (
 	// it (Resync + Start) at To. The injector cannot kill the controller
 	// itself; Plan.Crashes exposes these windows for the harness to execute.
 	CtlCrash Kind = "ctl-crash"
+	// BudgetDip curtails the power budget: at each minute boundary in the
+	// window a dip of the fault's Depth begins with probability Rate and
+	// lasts Dwell — a grid demand-response event the controller has not been
+	// pre-warned about. The injector only computes the resulting multiplier
+	// (BudgetMultiplier, DriveBudget); the harness applies it through the
+	// controller's SetBudget path, so — like CtlCrash — the fault models an
+	// external signal, not a wrapped dependency.
+	BudgetDip Kind = "budget-dip"
 )
 
 // Fault is one declarative fault: a kind, an active window, and the kind's
@@ -71,6 +79,10 @@ type Fault struct {
 	// Timeout, when positive, fails APILatency calls whose injected latency
 	// reaches it.
 	Timeout sim.Duration
+	// Depth is the budget fraction removed by a BudgetDip (0.2 = a 20 %
+	// curtailment); Dwell is how long each dip lasts once begun.
+	Depth float64
+	Dwell sim.Duration
 }
 
 func (f Fault) active(now sim.Time) bool { return now >= f.From && now < f.To }
@@ -108,6 +120,16 @@ func (p Plan) Validate() error {
 			if f.Latency <= 0 {
 				return fmt.Errorf("chaos: fault %d (%s): non-positive latency %v", i, f.Kind, f.Latency)
 			}
+		case BudgetDip:
+			if f.Rate == 0 {
+				return fmt.Errorf("chaos: fault %d (%s): zero rate never fires", i, f.Kind)
+			}
+			if math.IsNaN(f.Depth) || f.Depth <= 0 || f.Depth >= 1 {
+				return fmt.Errorf("chaos: fault %d (%s): depth %v outside (0, 1)", i, f.Kind, f.Depth)
+			}
+			if f.Dwell <= 0 {
+				return fmt.Errorf("chaos: fault %d (%s): non-positive dwell %v", i, f.Kind, f.Dwell)
+			}
 		default:
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
 		}
@@ -143,6 +165,11 @@ type Stats struct {
 	APILatency sim.Duration
 	// StoreRejects counts TSDB writes rejected by injection.
 	StoreRejects int64
+	// BudgetDips counts transitions from an uncurtailed to a curtailed
+	// budget (dip onsets as the driver saw them, not scheduled onsets);
+	// CurtailedIntervals counts driver intervals spent below full budget.
+	BudgetDips         int64
+	CurtailedIntervals int64
 }
 
 // Injector owns a plan and hands out faulty wrappers for the control
@@ -164,6 +191,8 @@ type chaosMetrics struct {
 	apiFailures     *obs.Counter
 	apiLatencyMS    *obs.Counter
 	storeRejects    *obs.Counter
+	budgetDips      *obs.Counter
+	curtailedIvals  *obs.Counter
 }
 
 // Instrument registers the injector's counters on reg (nil is a no-op):
@@ -175,6 +204,8 @@ type chaosMetrics struct {
 //	chaos_api_failures_total              counter
 //	chaos_api_injected_latency_ms_total   counter, virtual milliseconds
 //	chaos_store_rejects_total             counter
+//	chaos_budget_dips_total               counter
+//	chaos_curtailed_intervals_total       counter
 //
 // Call before handing out wrappers.
 func (in *Injector) Instrument(reg *obs.Registry) {
@@ -196,6 +227,10 @@ func (in *Injector) Instrument(reg *obs.Registry) {
 			"Total virtual latency injected into API calls, in milliseconds."),
 		storeRejects: reg.Counter("chaos_store_rejects_total",
 			"TSDB writes rejected by injection."),
+		budgetDips: reg.Counter("chaos_budget_dips_total",
+			"Transitions into a curtailed budget seen by the budget driver."),
+		curtailedIvals: reg.Counter("chaos_curtailed_intervals_total",
+			"Budget-driver intervals spent below full budget."),
 	}
 }
 

@@ -46,6 +46,10 @@ type Domain struct {
 	// Et predicts the next interval's demand increase. Nil selects a fresh
 	// HourlyEt that the controller trains online from its own observations.
 	Et EtEstimator
+	// Schedule, when non-nil, makes the budget time-varying: PM(t) follows
+	// the schedule's piecewise-constant steps (BudgetW before the first
+	// step), with optional per-tick ramp-rate limiting. See budget.go.
+	Schedule *BudgetSchedule
 }
 
 // Config holds controller-wide parameters.
@@ -250,11 +254,24 @@ func (s DomainStats) PMean() float64 {
 
 type domainState struct {
 	d      Domain
+	index  int
 	kr     float64
 	et     EtEstimator
 	hourly *HourlyEt // non-nil when the controller trains Et online
 	frozen map[cluster.ServerID]bool
 	stats  DomainStats
+
+	// Effective-budget state (budget.go). budget is the wattage the control
+	// law normalizes against this tick; budgetPrev stages the previous value
+	// for the apply phase's change event; budgetTargetW is where any ramp is
+	// heading. overrideW/haveOverride hold the runtime SetBudget target;
+	// maxBudgetW caps it at maxBudgetFactor × the base budget.
+	budget        float64
+	budgetPrev    float64
+	budgetTargetW float64
+	overrideW     float64
+	haveOverride  bool
+	maxBudgetW    float64
 
 	prevP    float64
 	prevT    sim.Time
@@ -340,6 +357,9 @@ type Controller struct {
 	handle  *sim.Handle
 	selRNG  *rand.Rand // only used by SelectRandom
 	ins     *instrumentation
+	// onBudget, when set, is called from the serial apply phase on every
+	// effective-budget movement (see OnBudgetChange in budget.go).
+	onBudget func(BudgetChange)
 
 	// loop fans the plan phase across domains when cfg.Parallel asks for
 	// it; planNow carries Step's tick time to the loop body (the body is a
@@ -381,6 +401,11 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 		if math.IsNaN(d.Kr) || math.IsInf(d.Kr, 0) || d.Kr < 0 {
 			return nil, fmt.Errorf("core: domain %d (%s) has Kr %v, need a finite non-negative gradient", i, d.Name, d.Kr)
 		}
+		if d.Schedule != nil {
+			if err := d.Schedule.Validate(d.BudgetW); err != nil {
+				return nil, fmt.Errorf("core: domain %d (%s): %w", i, d.Name, err)
+			}
+		}
 		for _, id := range d.Servers {
 			if prev, dup := owner[id]; dup {
 				// Two domains freezing the same server would fight over it
@@ -390,12 +415,17 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 			owner[id] = d.Name
 		}
 		ds := &domainState{
-			d:       d,
-			kr:      d.Kr,
-			et:      d.Et,
-			frozen:  make(map[cluster.ServerID]bool),
-			pending: make(map[cluster.ServerID]*pendingOp),
+			d:          d,
+			index:      i,
+			kr:         d.Kr,
+			et:         d.Et,
+			frozen:     make(map[cluster.ServerID]bool),
+			pending:    make(map[cluster.ServerID]*pendingOp),
+			budget:     d.BudgetW,
+			budgetPrev: d.BudgetW,
+			maxBudgetW: maxBudgetFactor * d.BudgetW,
 		}
+		ds.budgetTargetW = ds.budget
 		if ds.kr == 0 {
 			ds.kr = cfg.DefaultKr
 		}
@@ -542,8 +572,9 @@ func (c *Controller) planWorkers() int {
 // Et estimator guard themselves).
 func (c *Controller) planDomain(ds *domainState, now sim.Time) {
 	ds.plan = tickPlan{kind: planIdle}
+	c.planBudget(ds, now)
 	watts, at, ok := c.readGroup(ds.d.Servers, now)
-	p := watts / ds.d.BudgetW
+	p := watts / ds.budget
 
 	if c.res.Disabled {
 		if !ok {

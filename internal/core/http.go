@@ -8,22 +8,29 @@ import (
 
 // DomainStatus is the JSON view of one controlled domain, served by Handler.
 type DomainStatus struct {
-	Name            string  `json:"name"`
-	Servers         int     `json:"servers"`
-	BudgetW         float64 `json:"budget_w"`
-	Kr              float64 `json:"kr"`
-	Frozen          int     `json:"frozen"`
-	FreezeRatio     float64 `json:"freeze_ratio"`
-	Ticks           int64   `json:"ticks"`
-	Violations      int64   `json:"violations"`
-	ControlledTicks int64   `json:"controlled_ticks"`
-	FreezeOps       int64   `json:"freeze_ops"`
-	UnfreezeOps     int64   `json:"unfreeze_ops"`
-	APIErrors       int64   `json:"api_errors"`
-	UMean           float64 `json:"u_mean"`
-	UMax            float64 `json:"u_max"`
-	PMean           float64 `json:"p_mean"`
-	PMax            float64 `json:"p_max"`
+	Name    string  `json:"name"`
+	Servers int     `json:"servers"`
+	BudgetW float64 `json:"budget_w"`
+	// EffectiveBudgetW is the budget the control law is enforcing right now;
+	// it diverges from BudgetW while a schedule or SetBudget override is in
+	// force. BudgetTargetW is where any in-progress ramp is heading, and
+	// BudgetCurtailed flags an effective budget below the provisioned one.
+	EffectiveBudgetW float64 `json:"effective_budget_w"`
+	BudgetTargetW    float64 `json:"budget_target_w"`
+	BudgetCurtailed  bool    `json:"budget_curtailed"`
+	Kr               float64 `json:"kr"`
+	Frozen           int     `json:"frozen"`
+	FreezeRatio      float64 `json:"freeze_ratio"`
+	Ticks            int64   `json:"ticks"`
+	Violations       int64   `json:"violations"`
+	ControlledTicks  int64   `json:"controlled_ticks"`
+	FreezeOps        int64   `json:"freeze_ops"`
+	UnfreezeOps      int64   `json:"unfreeze_ops"`
+	APIErrors        int64   `json:"api_errors"`
+	UMean            float64 `json:"u_mean"`
+	UMax             float64 `json:"u_max"`
+	PMean            float64 `json:"p_mean"`
+	PMax             float64 `json:"p_max"`
 	// Degraded-operation counters (see DomainStats).
 	StaleTicks     int64   `json:"stale_ticks"`
 	InvalidSamples int64   `json:"invalid_samples"`
@@ -56,6 +63,13 @@ type DomainHealth struct {
 	// calls (reset by any success).
 	ConsecutiveAPIErrors int64 `json:"consecutive_api_errors"`
 	Frozen               int   `json:"frozen"`
+	// EffectiveBudgetW is the currently enforced budget; Reasons lists
+	// why the domain is not in its nominal state ("budget_curtailed",
+	// "stale_data", "failsafe_hold", "no_data"). A curtailed budget is
+	// reported but does not change State: a controller tracking a reduced
+	// PM(t) is operating correctly, not failing.
+	EffectiveBudgetW float64  `json:"effective_budget_w"`
+	Reasons          []string `json:"reasons,omitempty"`
 }
 
 // Health is the controller-wide health report.
@@ -73,29 +87,32 @@ func (c *Controller) Status() []DomainStatus {
 	for _, ds := range c.domains {
 		st := ds.stats
 		out = append(out, DomainStatus{
-			Name:            ds.d.Name,
-			Servers:         len(ds.d.Servers),
-			BudgetW:         ds.d.BudgetW,
-			Kr:              ds.kr,
-			Frozen:          len(ds.frozen),
-			FreezeRatio:     float64(len(ds.frozen)) / float64(len(ds.d.Servers)),
-			Ticks:           st.Ticks,
-			Violations:      st.Violations,
-			ControlledTicks: st.ControlledTicks,
-			FreezeOps:       st.FreezeOps,
-			UnfreezeOps:     st.UnfreezeOps,
-			APIErrors:       st.APIErrors,
-			UMean:           st.UMean(),
-			UMax:            st.UMax,
-			PMean:           st.PMean(),
-			PMax:            st.PMax,
-			StaleTicks:      st.StaleTicks,
-			InvalidSamples:  st.InvalidSamples,
-			DegradedTicks:   st.DegradedTicks,
-			FailSafeTicks:   st.FailSafeTicks,
-			Recoveries:      st.Recoveries,
-			MTTRMinutes:     st.MTTR().Minutes(),
-			Retries:         st.Retries,
+			Name:             ds.d.Name,
+			Servers:          len(ds.d.Servers),
+			BudgetW:          ds.d.BudgetW,
+			EffectiveBudgetW: ds.budget,
+			BudgetTargetW:    ds.budgetTargetW,
+			BudgetCurtailed:  ds.budget < ds.d.BudgetW,
+			Kr:               ds.kr,
+			Frozen:           len(ds.frozen),
+			FreezeRatio:      float64(len(ds.frozen)) / float64(len(ds.d.Servers)),
+			Ticks:            st.Ticks,
+			Violations:       st.Violations,
+			ControlledTicks:  st.ControlledTicks,
+			FreezeOps:        st.FreezeOps,
+			UnfreezeOps:      st.UnfreezeOps,
+			APIErrors:        st.APIErrors,
+			UMean:            st.UMean(),
+			UMax:             st.UMax,
+			PMean:            st.PMean(),
+			PMax:             st.PMax,
+			StaleTicks:       st.StaleTicks,
+			InvalidSamples:   st.InvalidSamples,
+			DegradedTicks:    st.DegradedTicks,
+			FailSafeTicks:    st.FailSafeTicks,
+			Recoveries:       st.Recoveries,
+			MTTRMinutes:      st.MTTR().Minutes(),
+			Retries:          st.Retries,
 		})
 	}
 	return out
@@ -117,9 +134,21 @@ func (c *Controller) Healthz() Health {
 			DarkIntervals:        ds.dark,
 			ConsecutiveAPIErrors: ds.consecAPIErr,
 			Frozen:               len(ds.frozen),
+			EffectiveBudgetW:     ds.budget,
 		}
 		if ds.haveGood {
 			dh.LastSampleAgeMin = now.Sub(ds.lastGoodAt).Minutes()
+		}
+		switch dh.State {
+		case HealthNoData:
+			dh.Reasons = append(dh.Reasons, "no_data")
+		case HealthFailSafe:
+			dh.Reasons = append(dh.Reasons, "failsafe_hold")
+		case HealthDegraded:
+			dh.Reasons = append(dh.Reasons, "stale_data")
+		}
+		if ds.budget < ds.d.BudgetW {
+			dh.Reasons = append(dh.Reasons, "budget_curtailed")
 		}
 		if rank[dh.State] > rank[h.State] {
 			h.State = dh.State

@@ -45,6 +45,8 @@ type instrumentation struct {
 //	ampere_frozen_servers               gauge
 //	ampere_freeze_ratio                 gauge
 //	ampere_power_norm                   gauge
+//	ampere_budget_w                     gauge (effective enforced budget, watts)
+//	ampere_budget_target_w              gauge (budget target being ramped toward)
 //	ampere_health_state                 gauge (0 ok, 1 degraded, 2 failsafe, 3 no-data)
 func (c *Controller) Instrument(reg *obs.Registry, journal *obs.Journal) {
 	if reg == nil && journal == nil {
@@ -128,6 +130,10 @@ func (c *Controller) registerCollectors(reg *obs.Registry) {
 		})
 	gauge("ampere_power_norm", "Last observed power normalized to the budget.",
 		func(ds *domainState) float64 { return sanitize(ds.lastP) })
+	gauge("ampere_budget_w", "Currently enforced (effective) power budget in watts.",
+		func(ds *domainState) float64 { return sanitize(ds.budget) })
+	gauge("ampere_budget_target_w", "Budget target the effective budget is ramping toward.",
+		func(ds *domainState) float64 { return sanitize(ds.budgetTargetW) })
 	gauge("ampere_health_state", "Domain health: 0 ok, 1 degraded, 2 failsafe, 3 no-data.",
 		func(ds *domainState) float64 { return healthCode(ds.health()) })
 }
@@ -187,6 +193,7 @@ func (c *Controller) tickPlan(ds *domainState, now sim.Time) {
 // Always called serially in domain-index order, so journal entries land in
 // the same order as the old single-phase tick.
 func (c *Controller) tickApply(ds *domainState, now sim.Time) {
+	c.applyBudgetChange(ds, now)
 	if c.ins == nil || c.ins.journal == nil {
 		c.applyDomain(ds, now)
 		return
@@ -224,7 +231,8 @@ func (c *Controller) decisionEvent(ds *domainState, now sim.Time, before DomainS
 		SimMS:        int64(now),
 		SimTime:      now.String(),
 		Domain:       ds.d.Name,
-		PowerW:       sanitize(ds.lastP * ds.d.BudgetW),
+		PowerW:       sanitize(ds.lastP * ds.budget),
+		BudgetW:      sanitize(ds.budget),
 		PNorm:        sanitize(ds.lastP),
 		Et:           sanitize(ds.lastEt),
 		Action:       action,
@@ -242,6 +250,24 @@ func (c *Controller) decisionEvent(ds *domainState, now sim.Time, before DomainS
 		ev.Transition = healthBefore + "->" + health
 	}
 	return ev
+}
+
+// obsBudgetEvent records one effective-budget movement. Emitted from the
+// serial apply phase immediately before the tick's decision event, so a
+// curtailment and the controller's response to it sit adjacent in the
+// journal (the OPERATIONS.md §12 bisection workflow depends on that order).
+func obsBudgetEvent(ds *domainState, now sim.Time) obs.Event {
+	return obs.Event{
+		SimMS:         int64(now),
+		SimTime:       now.String(),
+		Domain:        ds.d.Name,
+		Action:        "budget-change",
+		BudgetW:       sanitize(ds.budget),
+		OldBudgetW:    sanitize(ds.budgetPrev),
+		TargetBudgetW: sanitize(ds.budgetTargetW),
+		Frozen:        len(ds.frozen),
+		Health:        ds.health(),
+	}
 }
 
 // callFreezeAPI invokes the scheduler, metering wall-clock call latency

@@ -134,13 +134,15 @@ func TestNormPowerSeriesZeroBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Force the no-budget condition before any sample lands: budgets are
+	// recorded per sample, so the guard applies to what was in force at
+	// sample time.
+	tr := ctrl.Tracker
+	tr.SetGroupBudget(GExp, 0)
 	ctrl.Rig.StartBase()
 	if err := ctrl.Rig.Run(sim.Time(10 * sim.Minute)); err != nil {
 		t.Fatal(err)
 	}
-	tr := ctrl.Tracker
-	// Force the no-budget condition the same way Violations guards it.
-	tr.groups[GExp].BudgetW = 0
 	norm := tr.NormPowerSeries(GExp, 0)
 	if len(norm) != tr.Samples() {
 		t.Fatalf("series length %d, want %d", len(norm), tr.Samples())
@@ -193,6 +195,55 @@ func TestPlacedBetweenBounds(t *testing.T) {
 	for i := range norm {
 		if math.Abs(norm[i]-raw[i]/ctrl.ExpBudgetW) > 1e-12 {
 			t.Fatal("normalization inconsistent")
+		}
+	}
+}
+
+// TestTrackerTimeVaryingBudget pins the per-sample budget recording: a
+// budget change between samples moves the violation threshold and the
+// normalization scale for subsequent samples only.
+func TestTrackerTimeVaryingBudget(t *testing.T) {
+	ctrl, err := NewControlled(ControlledConfig{
+		Seed: 11, RowServers: 40, RestRows: 1, TargetPowerFrac: 0.75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ctrl.Tracker
+	base := tr.Group(GExp).BudgetW
+	if base <= 0 {
+		t.Fatalf("controlled setup has no experiment budget")
+	}
+	ctrl.Rig.StartBase()
+	if err := ctrl.Rig.Run(sim.Time(5 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	cut := tr.Samples()
+	// Curtail to a budget below any plausible group draw: every later
+	// sample must violate, and earlier samples must be untouched.
+	tr.SetGroupBudget(GExp, 1)
+	before := tr.Violations(GExp, 0)
+	if err := ctrl.Rig.Run(sim.Time(10 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	late := tr.Samples() - cut
+	if late <= 0 {
+		t.Fatalf("no samples after the budget change")
+	}
+	if got := tr.ViolationsBetween(GExp, cut, -1); got != late {
+		t.Fatalf("violations after curtailment = %d, want every sample (%d)", got, late)
+	}
+	if got := tr.ViolationsBetween(GExp, 0, cut-1); got != before {
+		t.Fatalf("pre-curtailment violations changed: %d, want %d", got, before)
+	}
+	bs := tr.BudgetSeries(GExp, 0)
+	if bs[0] != base || bs[len(bs)-1] != 1 {
+		t.Fatalf("budget series endpoints %v, %v; want %v, 1", bs[0], bs[len(bs)-1], base)
+	}
+	norm := tr.NormPowerSeries(GExp, cut)
+	for i, v := range norm {
+		if v <= 1 {
+			t.Fatalf("normalized power %v at %d under 1 W budget, want > 1", v, i)
 		}
 	}
 }

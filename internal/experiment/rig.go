@@ -116,7 +116,9 @@ type Group struct {
 	Name string
 	IDs  []cluster.ServerID
 	// BudgetW, when positive, defines violations: samples with group power
-	// strictly above it.
+	// strictly above it. It is the group's *initial* budget; a time-varying
+	// run updates it with Tracker.SetGroupBudget, and every violation or
+	// normalization is judged against the budget recorded at that sample.
 	BudgetW float64
 }
 
@@ -128,6 +130,8 @@ type Tracker struct {
 	idToGroup  map[cluster.ServerID]int
 	times      []sim.Time
 	power      [][]float64 // [group][sample]
+	budgets    [][]float64 // [group][sample] effective budget at sample time
+	curBudget  []float64   // effective budget to record at the next sample
 	violations []int
 	placedCum  []int64   // cumulative placements per group
 	placed     [][]int64 // [group][sample] cumulative at sample time
@@ -152,6 +156,8 @@ func NewTracker(rig *Rig, groups []Group) (*Tracker, error) {
 		groups:     groups,
 		idToGroup:  make(map[cluster.ServerID]int),
 		power:      make([][]float64, len(groups)),
+		budgets:    make([][]float64, len(groups)),
+		curBudget:  make([]float64, len(groups)),
 		violations: make([]int, len(groups)),
 		placedCum:  make([]int64, len(groups)),
 		placed:     make([][]int64, len(groups)),
@@ -160,6 +166,7 @@ func NewTracker(rig *Rig, groups []Group) (*Tracker, error) {
 		if len(g.IDs) == 0 {
 			return nil, fmt.Errorf("experiment: group %q is empty", g.Name)
 		}
+		t.curBudget[gi] = g.BudgetW
 		for _, id := range g.IDs {
 			t.idToGroup[id] = gi
 		}
@@ -181,6 +188,14 @@ func (t *Tracker) AddProbe(name string, fn func() float64) {
 	t.probeVals = append(t.probeVals, nil)
 }
 
+// SetGroupBudget updates the effective budget recorded from the next sample
+// onward — the tracker-side mirror of a controller budget change. Call it
+// from the simulation goroutine (e.g. a core.OnBudgetChange callback); like
+// every Tracker mutation it is not safe for concurrent use.
+func (t *Tracker) SetGroupBudget(gi int, w float64) {
+	t.curBudget[gi] = w
+}
+
 func (t *Tracker) sample(now sim.Time) {
 	t.times = append(t.times, now)
 	for gi, g := range t.groups {
@@ -188,8 +203,10 @@ func (t *Tracker) sample(now sim.Time) {
 		if !ok {
 			p = 0
 		}
+		b := t.curBudget[gi]
 		t.power[gi] = append(t.power[gi], p)
-		if g.BudgetW > 0 && p > g.BudgetW {
+		t.budgets[gi] = append(t.budgets[gi], b)
+		if b > 0 && p > b {
 			t.violations[gi]++
 		}
 		t.placed[gi] = append(t.placed[gi], t.placedCum[gi])
@@ -219,36 +236,47 @@ func (t *Tracker) PowerSeries(gi, from int) []float64 {
 	return t.power[gi][from:]
 }
 
-// NormPowerSeries returns group gi's power normalized to its budget. A
-// group without a positive budget has no normalization scale — consistent
-// with Violations, the series is all zeros rather than +Inf/NaN, so
-// downstream statistics and CSV exports never see non-finite values.
+// NormPowerSeries returns group gi's power normalized to the effective
+// budget recorded at each sample, so the series stays meaningful while
+// PM(t) varies. A sample without a positive budget has no normalization
+// scale — consistent with Violations, it is reported as zero rather than
+// +Inf/NaN, so downstream statistics and CSV exports never see non-finite
+// values.
 func (t *Tracker) NormPowerSeries(gi, from int) []float64 {
-	b := t.groups[gi].BudgetW
 	src := t.power[gi][from:]
+	bs := t.budgets[gi][from:]
 	out := make([]float64, len(src))
-	if b <= 0 {
-		return out
-	}
 	for i, v := range src {
-		out[i] = v / b
+		if b := bs[i]; b > 0 {
+			out[i] = v / b
+		}
 	}
 	return out
 }
 
-// Violations counts group gi's over-budget samples from sample index from.
-func (t *Tracker) Violations(gi, from int) int {
-	b := t.groups[gi].BudgetW
-	if b <= 0 {
-		return 0
-	}
-	return countOver(t.power[gi][from:], b)
+// BudgetSeries returns the effective budget recorded at each of group gi's
+// samples from sample index from onward.
+func (t *Tracker) BudgetSeries(gi, from int) []float64 {
+	return t.budgets[gi][from:]
 }
 
-func countOver(xs []float64, budget float64) int {
+// Violations counts group gi's over-budget samples from sample index from,
+// judging each sample against the budget in force when it was taken.
+func (t *Tracker) Violations(gi, from int) int {
+	return t.ViolationsBetween(gi, from, -1)
+}
+
+// ViolationsBetween counts group gi's over-budget samples in the sample
+// index window [from, to] (to = −1 means the latest sample) — the tool for
+// isolating a curtailment's ramp window from its steady tail.
+func (t *Tracker) ViolationsBetween(gi, from, to int) int {
+	xs := t.power[gi]
+	if to < 0 || to >= len(xs) {
+		to = len(xs) - 1
+	}
 	n := 0
-	for _, v := range xs {
-		if v > budget {
+	for i := from; i <= to; i++ {
+		if b := t.budgets[gi][i]; b > 0 && xs[i] > b {
 			n++
 		}
 	}

@@ -28,9 +28,17 @@ type Event struct {
 	PowerW float64 `json:"power_w"`
 	PNorm  float64 `json:"p_norm"`
 	Et     float64 `json:"et"`
+	// BudgetW is the effective (enforced) budget at this tick. On
+	// "budget-change" events OldBudgetW and TargetBudgetW bracket the
+	// movement: the budget moved OldBudgetW→BudgetW, ramping toward
+	// TargetBudgetW.
+	BudgetW       float64 `json:"budget_w,omitempty"`
+	OldBudgetW    float64 `json:"old_budget_w,omitempty"`
+	TargetBudgetW float64 `json:"target_budget_w,omitempty"`
 	// Action summarizes the tick: "idle" (no freeze target), "freeze",
 	// "unfreeze", "swap" (both directions), "hold" (target met, no ops),
-	// "hold-failsafe", or "skip-no-data".
+	// "hold-failsafe", "skip-no-data", or "budget-change" (an
+	// effective-budget movement, emitted just before the tick's decision).
 	Action string `json:"action"`
 	// TargetFrozen is the freeze target ⌊F(P/PM)·n⌋ after degraded-mode
 	// clamping; Frozen is the realized frozen-set size after the tick.

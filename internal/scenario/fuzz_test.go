@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 // FuzzLoad feeds arbitrary bytes through the JSON loader and, when a spec
@@ -46,6 +48,54 @@ func FuzzLoad(f *testing.F) {
 		}
 		if err := s2.Validate(); err != nil {
 			t.Fatalf("round-tripped spec no longer validates: %v\n%s", err, blob)
+		}
+	})
+}
+
+// FuzzBudgetSchedule drives the PM(t) surface: arbitrary JSON is decoded as
+// a spec, and whenever the spec validates, its budget schedule must compile
+// — for every row — into a core.BudgetSchedule that satisfies core's own
+// invariants (strictly increasing step times, positive budgets, ramp in
+// [0,1]). A validated spec that fails to compile is a seam bug between the
+// two validation layers.
+func FuzzBudgetSchedule(f *testing.F) {
+	f.Add(`{"rows":2,"row_servers":40,"hours":2,"target_frac":0.6,"ampere":true,
+		"budget_schedule":{"ramp_frac":0.02,"steps":[{"at_minutes":30,"frac":0.8},{"at_minutes":90,"frac":1}]}}`)
+	f.Add(`{"rows":3,"row_servers":40,"hours":2,"target_frac":0.6,"ampere":true,
+		"demand_response":[{"at_minutes":15,"depth":0.2,"dwell_minutes":60,"rows":[0,2]}]}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"budget_schedule":{"steps":[{"at_minutes":10,"frac":0.9}]},
+		"demand_response":[{"at_minutes":5,"depth":0.5,"dwell_minutes":20},{"at_minutes":10,"depth":0.1,"dwell_minutes":5,"rows":[1]}]}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"budget_schedule":{"ramp_frac":1}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"demand_response":[{"at_minutes":0.0001,"depth":0.999,"dwell_minutes":0.0002}]}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,
+		"budget_schedule":{"ramp_frac":0.02}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"budget_schedule":{"steps":[{"at_minutes":1e308,"frac":0.5}]}}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Load(strings.NewReader(in))
+		if err != nil || s.Validate() != nil {
+			return
+		}
+		const budgetW = 1000.0
+		for _, warmup := range []sim.Duration{sim.Hour, 30 * sim.Minute} {
+			for r := 0; r < s.Rows; r++ {
+				cs := s.compileBudgetSchedule(r, budgetW, warmup)
+				if cs == nil {
+					continue
+				}
+				if err := cs.Validate(budgetW); err != nil {
+					t.Fatalf("validated spec compiled to invalid schedule (row %d): %v\nspec: %s", r, err, in)
+				}
+				for i, st := range cs.Steps {
+					if st.At < sim.Time(warmup) {
+						t.Fatalf("step %d at %v precedes warmup %v", i, st.At, warmup)
+					}
+				}
+			}
 		}
 	})
 }

@@ -53,6 +53,13 @@ type Spec struct {
 	// RO scales each row's enforced budget to rated/(1+RO).
 	RO float64 `json:"ro"`
 
+	// BudgetSchedule makes the enforced budget time-varying — piecewise-
+	// constant PM(t) with optional ramp-rate limiting (requires Ampere).
+	BudgetSchedule *BudgetSchedule `json:"budget_schedule,omitempty"`
+	// DemandResponse lists grid curtailment events layered multiplicatively
+	// on the scheduled budget (requires Ampere).
+	DemandResponse []DemandResponse `json:"demand_response,omitempty"`
+
 	// Protections.
 	Ampere  bool    `json:"ampere"`
 	Capping bool    `json:"capping"`
@@ -115,7 +122,7 @@ func (s *Spec) Validate() error {
 	if _, err := pickRowChooser(s.RowChooser); err != nil {
 		return err
 	}
-	return nil
+	return s.validateBudget()
 }
 
 func pickPolicy(name string) (scheduler.Policy, error) {
@@ -157,8 +164,11 @@ type Built struct {
 	BudgetW    float64 // per row
 	// Trips counts breaker trips across the run (rows repair and can trip
 	// again).
-	Trips  int
-	warmup sim.Duration
+	Trips int
+	// BudgetChanges counts effective-budget movements applied by the
+	// controller across all rows (schedule steps, ramp ticks, events).
+	BudgetChanges int
+	warmup        sim.Duration
 }
 
 // Build assembles every component of the spec.
@@ -258,6 +268,7 @@ func (s *Spec) Build() (*Built, error) {
 		for r := 0; r < s.Rows; r++ {
 			domains[r] = core.Domain{
 				Name: fmt.Sprintf("row/%d", r), Servers: rowIDs[r], BudgetW: budget, Kr: kr,
+				Schedule: s.compileBudgetSchedule(r, budget, b.warmup),
 			}
 		}
 		b.Controller, err = core.New(rig.Eng, rig.Mon, rig.Sched, core.DefaultConfig(), domains)
@@ -303,6 +314,18 @@ func (s *Spec) Build() (*Built, error) {
 			})
 			b.Breakers = append(b.Breakers, brk)
 		}
+	}
+	if b.Controller != nil {
+		// A moving budget must move the whole protection/measurement stack
+		// with it: the tracker judges violations against the budget in force,
+		// and the relay on a curtailed feed trips against the reduced limit.
+		b.Controller.OnBudgetChange(func(bc core.BudgetChange) {
+			b.BudgetChanges++
+			tracker.SetGroupBudget(bc.Domain, bc.NewW)
+			if bc.Domain < len(b.Breakers) {
+				_ = b.Breakers[bc.Domain].SetBudget(bc.NewW)
+			}
+		})
 	}
 	return b, nil
 }
@@ -357,6 +380,9 @@ func (b *Built) Report(w io.Writer) {
 				fmt.Fprintf(w, "       BREAKER OPEN since %v\n", at)
 			}
 		}
+	}
+	if b.BudgetChanges > 0 {
+		fmt.Fprintf(w, "\nbudget changes applied: %d\n", b.BudgetChanges)
 	}
 	if b.Trips > 0 {
 		fmt.Fprintf(w, "\nbreaker trips: %d\n", b.Trips)

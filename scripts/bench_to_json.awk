@@ -1,20 +1,38 @@
 #!/usr/bin/awk -f
 # Converts `go test -bench` output into a JSON array, one record per
-# benchmark line. Metric units become keys verbatim ("ns/op", "B/op",
+# benchmark name. Metric units become keys verbatim ("ns/op", "B/op",
 # "allocs/op", plus custom b.ReportMetric units like "ns/server"), so the
-# baseline survives new metrics without script changes. Stdlib awk only —
-# the repo takes no dependencies for this.
+# baseline survives new metrics without script changes. When a benchmark
+# appears more than once (go test -count=N), the repetition with the lowest
+# ns/op wins: the minimum is the run least disturbed by scheduler noise,
+# which keeps the regression gate stable on shared/virtualized machines.
+# Stdlib awk only — the repo takes no dependencies for this.
 #
-#   go test -bench 'BenchmarkScale' -benchmem . | awk -f scripts/bench_to_json.awk
-BEGIN { print "["; n = 0 }
+#   go test -bench 'BenchmarkScale' -count=3 -benchmem . | awk -f scripts/bench_to_json.awk
+BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+    ns = -1
     line = sprintf("  {\"name\":\"%s\",\"iterations\":%s", name, $2)
-    for (i = 3; i + 1 <= NF; i += 2)
+    for (i = 3; i + 1 <= NF; i += 2) {
         line = line sprintf(",\"%s\":%s", $(i + 1), $i)
+        if ($(i + 1) == "ns/op")
+            ns = $i + 0
+    }
     line = line "}"
-    if (n++) print prev ","
-    prev = line
+    if (!(name in best)) {
+        order[n++] = name
+        best[name] = line
+        bestns[name] = ns
+    } else if (ns >= 0 && (bestns[name] < 0 || ns < bestns[name])) {
+        best[name] = line
+        bestns[name] = ns
+    }
 }
-END { if (n) print prev; print "]" }
+END {
+    print "["
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", best[order[i]], (i < n - 1 ? "," : "")
+    print "]"
+}
