@@ -3,9 +3,10 @@
 # runner suites with shuffled test order (order-dependence is how shared
 # state between parallel run units would first show up).
 .PHONY: tier1 build lint vet test race race-shuffle fuzz fuzz-smoke chaos \
-	bench-runner bench-scale bench-scale-quick bench-check gridstorm
+	bench-runner bench-scale bench-scale-quick bench-check gridstorm \
+	whatif whatif-smoke
 
-tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke
+tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke whatif-smoke
 
 build:
 	go build ./...
@@ -37,6 +38,7 @@ fuzz:
 	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
 	go test ./internal/scenario/ -fuzz FuzzBudgetSchedule -fuzztime 30s
 	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
+	go test ./internal/whatif/ -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime 30s
 
 # Tier-1's fuzz gate: a quick live pass over each target on top of the
 # committed-corpus replay, short enough to keep the merge gate fast.
@@ -44,12 +46,25 @@ fuzz-smoke:
 	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
 	go test ./internal/scenario/ -fuzz FuzzBudgetSchedule -fuzztime 30s
 	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
+	go test ./internal/whatif/ -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime 30s
 
 # The grid-event resilience experiment: the same 20% curtailment as a cliff
 # and ramp-limited, quick scale (full 100k: `go run ./cmd/ampere-exp -exp
 # gridstorm`).
 gridstorm:
 	go run ./cmd/ampere-exp -exp gridstorm -quick
+
+# Counterfactual demo: snapshot the gridstorm cliff at dip onset, verify the
+# self-replay is byte-identical, then score a ramped-budget alternative
+# ("would have avoided every trip"). Same engine as `ampere-trace why` and
+# powermon's /whatif endpoint.
+whatif:
+	go run ./cmd/ampere-exp -exp whatif -quick
+
+# Tier-1's snapshot/replay smoke: snapshot a 400-server gridstorm run
+# mid-storm, self-replay, and require an empty diff.
+whatif-smoke:
+	go test ./internal/whatif/ -run TestWhatifSelfDiff400 -count=1
 
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:

@@ -79,10 +79,11 @@ func main() {
 		"ablations": runAblations,
 		"scale":     runScale,
 		"gridstorm": runGridstorm,
+		"whatif":    runWhatif,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations",
-		"scale", "gridstorm"}
+		"scale", "gridstorm", "whatif"}
 
 	var ids []string
 	if *exp == "all" {
@@ -433,6 +434,26 @@ func runGridstorm(w io.Writer, rc runCtx) error {
 		return err
 	}
 	experiment.FormatGridstorm(w, cfg, runs)
+	return nil
+}
+
+// runWhatif demonstrates the counterfactual engine: snapshot the gridstorm
+// cliff regime at the dip-onset journal event, self-replay to prove
+// byte-identity, then replay with a ramped-budget patch and report the
+// trips/violations the alternative would have avoided. Wall timings go to
+// stderr; stdout is deterministic.
+func runWhatif(w io.Writer, rc runCtx) error {
+	cfg := experiment.DefaultGridstorm()
+	if rc.quick {
+		cfg = experiment.QuickGridstorm()
+	}
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.CtlParallel = rc.ctlParallel
+	res, err := experiment.RunWhatif(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatWhatif(w, res)
 	return nil
 }
 

@@ -1,13 +1,21 @@
-// Command ampere-trace records and replays row power traces.
+// Command ampere-trace records, replays, and explains row power traces.
 //
 //	ampere-trace record -out row.csv -hours 12 -target 0.78
 //	ampere-trace replay -in row.csv [-ampere] [-ro 0.25]
+//	ampere-trace why [-event N] [-alt policy=...] [-regime cliff|ramp] [-json]
 //
 // record simulates a diurnal day on one row and writes the per-minute power
 // trace as CSV; replay converts a trace (from record, or any external export
 // with the same layout) back into an arrival-rate schedule, re-simulates the
 // row along that trajectory, and reports power/violation statistics —
 // optionally under Ampere control with an emulated over-provisioning ratio.
+//
+// why answers the operator's counterfactual question on the gridstorm
+// scenario: snapshot the run at journal event N (default: the dip-onset
+// budget change), fork it with an alternative policy (default: a ramped
+// budget), replay against the same seeded workload and chaos streams, and
+// print the scored diff — trips avoided, violation ticks avoided, capacity
+// minutes gained, and per-domain divergence points. See OPERATIONS.md §13.
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 		err = record(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
+	case "why":
+		err = why(os.Args[2:])
 	default:
 		usage()
 	}
@@ -45,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ampere-trace record|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ampere-trace record|replay|why [flags]")
 	os.Exit(2)
 }
 

@@ -14,6 +14,7 @@
 //	curl 'http://localhost:8080/healthz'
 //	curl 'http://localhost:8080/metrics'
 //	curl 'http://localhost:8080/events?n=10'
+//	curl 'http://localhost:8080/whatif?alt=ramp=0.02&horizon=60'
 //
 // With -obs (the default) every subsystem registers its metrics on one
 // registry served in Prometheus text format at /metrics, and each control
@@ -50,6 +51,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -121,13 +123,28 @@ type status struct {
 	Violations []int64   `json:"violations_per_row"`
 }
 
-func run(cfg runConfig) error {
+// stack is one fully wired powermon simulation: rig, optional controller,
+// observational breakers. buildStack produces it for both the live server and
+// the /whatif offline replays — identical construction and start order is
+// what makes an offline rebuild reproduce the live journal byte-for-byte
+// (the whatif witness-verification contract).
+type stack struct {
+	rig      *experiment.Rig
+	ctl      *core.Controller
+	breakers []*breaker.Breaker
+	budget   float64
+}
+
+// buildStack wires the whole simulation up to (and including) controller
+// start. reg may be nil (the offline-replay case: metrics unregistered but
+// journal still fed); journal may be nil only when cfg.obs is false.
+func buildStack(cfg runConfig, reg *obs.Registry, journal *obs.Journal) (*stack, error) {
 	spec := cluster.DefaultSpec()
 	spec.Rows = cfg.rows
 	spec.ServersPerRack = 20
 	spec.RacksPerRow = cfg.rowServers / spec.ServersPerRack
 	if spec.RacksPerRow < 1 {
-		return fmt.Errorf("row-servers %d too small", cfg.rowServers)
+		return nil, fmt.Errorf("row-servers %d too small", cfg.rowServers)
 	}
 
 	dd := workload.DefaultDurations()
@@ -142,19 +159,13 @@ func run(cfg runConfig) error {
 		Retention: 7 * 24 * 60, // one week of minutes per series
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Observability wiring: one registry for every subsystem, one journal
 	// for control decisions. With -obs=false both stay nil and every
 	// Instrument call below is a no-op.
-	var (
-		reg     *obs.Registry
-		journal *obs.Journal
-	)
 	if cfg.obs {
-		reg = obs.NewRegistry()
-		journal = obs.NewJournal(cfg.journalCap)
 		rig.Mon.Instrument(reg)
 		rig.DB.Instrument(reg)
 		rig.Sched.Instrument(reg, journal)
@@ -173,7 +184,7 @@ func run(cfg runConfig) error {
 	if cfg.obs {
 		inj, err := chaos.New(rig.Eng, chaos.Plan{Seed: cfg.seed})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inj.Instrument(reg)
 		reader = inj.WrapReader(rig.Mon)
@@ -185,10 +196,10 @@ func run(cfg runConfig) error {
 	var sched *core.BudgetSchedule
 	if cfg.drAt > 0 {
 		if cfg.drDepth <= 0 || cfg.drDepth >= 1 {
-			return fmt.Errorf("dr-depth %v outside (0,1)", cfg.drDepth)
+			return nil, fmt.Errorf("dr-depth %v outside (0,1)", cfg.drDepth)
 		}
 		if cfg.drDwell <= 0 {
-			return fmt.Errorf("dr-dwell %v must be positive", cfg.drDwell)
+			return nil, fmt.Errorf("dr-dwell %v must be positive", cfg.drDwell)
 		}
 		sched = &core.BudgetSchedule{
 			RampFrac: cfg.drRamp,
@@ -198,7 +209,7 @@ func run(cfg runConfig) error {
 			},
 		}
 		if err := sched.Validate(budget); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
@@ -219,11 +230,11 @@ func run(cfg runConfig) error {
 		ccfg.Parallel = cfg.ctlParallel
 		controller, err = core.New(rig.Eng, reader, api, ccfg, domains)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		controller.Instrument(reg, journal)
 	} else if sched != nil {
-		return fmt.Errorf("dr-at needs -ampere: the schedule is enforced by the controller")
+		return nil, fmt.Errorf("dr-at needs -ampere: the schedule is enforced by the controller")
 	}
 
 	// Observational per-row breakers: they evaluate the real trip curve and
@@ -234,7 +245,7 @@ func run(cfg runConfig) error {
 		for r := 0; r < cfg.rows; r++ {
 			b, err := breaker.New(rig.Eng, breaker.DefaultConfig(budget), rig.Cluster.Row(r))
 			if err != nil {
-				return err
+				return nil, err
 			}
 			b.Instrument(reg, fmt.Sprintf("row/%d", r))
 			b.Start()
@@ -251,6 +262,24 @@ func run(cfg runConfig) error {
 		})
 		controller.Start()
 	}
+	return &stack{rig: rig, ctl: controller, breakers: breakers, budget: budget}, nil
+}
+
+func run(cfg runConfig) error {
+	var (
+		reg     *obs.Registry
+		journal *obs.Journal
+	)
+	if cfg.obs {
+		reg = obs.NewRegistry()
+		journal = obs.NewJournal(cfg.journalCap)
+		journal.Instrument(reg)
+	}
+	sk, err := buildStack(cfg, reg, journal)
+	if err != nil {
+		return err
+	}
+	rig, controller, budget := sk.rig, sk.ctl, sk.budget
 
 	st := &status{BudgetW: budget}
 
@@ -312,6 +341,21 @@ func run(cfg runConfig) error {
 	}
 	if journal != nil {
 		mux.Handle("/events", journal.Handler())
+	}
+	if journal != nil && controller != nil {
+		// Counterfactual replays: fork the live run at a journal event and
+		// re-run it offline with an alternative policy (see whatif.go).
+		ws := &whatifServer{
+			cfg:     cfg,
+			journal: journal,
+			met:     whatif.NewMetrics(reg),
+			now: func() sim.Time {
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				return minutesToTime(float64(st.SimMinutes))
+			},
+		}
+		mux.HandleFunc("GET /whatif", ws.handle)
 	}
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

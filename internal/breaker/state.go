@@ -1,0 +1,22 @@
+package breaker
+
+// State is the breaker's mutable state, exported for the counterfactual
+// what-if engine's snapshot witness (internal/whatif).
+type State struct {
+	BudgetW   float64
+	Heat      float64
+	Tripped   bool
+	TripAtMS  int64
+	Evaluated int64
+}
+
+// ExportState copies the breaker's mutable state.
+func (b *Breaker) ExportState() State {
+	return State{
+		BudgetW:   b.cfg.BudgetW,
+		Heat:      b.heat,
+		Tripped:   b.tripped,
+		TripAtMS:  int64(b.tripTime),
+		Evaluated: b.evaluated,
+	}
+}

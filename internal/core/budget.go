@@ -178,8 +178,15 @@ func (c *Controller) planBudget(ds *domainState, now sim.Time) {
 		return
 	}
 	step := target - ds.budget
-	if ds.d.Schedule != nil && ds.d.Schedule.RampFrac > 0 {
-		limit := ds.d.Schedule.RampFrac * ds.d.BudgetW
+	// A Reconfigure ramp override takes precedence over the schedule's
+	// RampFrac; either way a zero limit applies the change as a cliff.
+	var limit float64
+	if c.haveRampOverride {
+		limit = c.rampOverride * ds.d.BudgetW
+	} else if ds.d.Schedule != nil {
+		limit = ds.d.Schedule.RampFrac * ds.d.BudgetW
+	}
+	if limit > 0 {
 		if step > limit {
 			step = limit
 		} else if step < -limit {

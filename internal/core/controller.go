@@ -360,6 +360,12 @@ type Controller struct {
 	// onBudget, when set, is called from the serial apply phase on every
 	// effective-budget movement (see OnBudgetChange in budget.go).
 	onBudget func(BudgetChange)
+	// rampOverride, when haveRampOverride, bounds per-tick effective-budget
+	// movement as a fraction of each domain's base budget, taking precedence
+	// over any schedule's RampFrac. Set through Reconfigure (patch.go) — the
+	// counterfactual replay path — never by the normal construction path.
+	rampOverride     float64
+	haveRampOverride bool
 
 	// loop fans the plan phase across domains when cfg.Parallel asks for
 	// it; planNow carries Step's tick time to the loop body (the body is a

@@ -157,6 +157,57 @@ func (h *HourlyEt) Add(t sim.Time, delta float64) {
 	h.mu.Unlock()
 }
 
+// SetPercentile retargets the estimator's percentile at runtime — the
+// counterfactual-replay path for "what if Et had been the 95th percentile".
+// The accumulated observations are untouched; only the read point moves.
+func (h *HourlyEt) SetPercentile(pct float64) error {
+	if math.IsNaN(pct) || pct <= 0 || pct > 100 {
+		return fmt.Errorf("core: Et percentile %v outside (0, 100]", pct)
+	}
+	h.mu.Lock()
+	h.pct = pct
+	h.mu.Unlock()
+	return nil
+}
+
+// HourlyEtState is a deep copy of an HourlyEt's full learned state, exported
+// for snapshotting (internal/whatif). Bins preserve both maintained orders —
+// Sorted for percentile reads and Ring/Head for windowed eviction — so a
+// restored estimator continues evicting in exact arrival order.
+type HourlyEtState struct {
+	Percentile float64
+	Default    float64
+	MinSamples int
+	Window     int
+	Bins       [24]EtBinState
+}
+
+// EtBinState is one hour bin's observations in both maintained orders.
+type EtBinState struct {
+	Sorted []float64
+	Ring   []float64
+	Head   int
+}
+
+// ExportState deep-copies the estimator's state.
+func (h *HourlyEt) ExportState() HourlyEtState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HourlyEtState{
+		Percentile: h.pct, Default: h.def,
+		MinSamples: h.minSamples, Window: h.window,
+	}
+	for i := range h.bins {
+		b := &h.bins[i]
+		st.Bins[i] = EtBinState{
+			Sorted: append([]float64(nil), b.sorted...),
+			Ring:   append([]float64(nil), b.ring...),
+			Head:   b.head,
+		}
+	}
+	return st
+}
+
 // Samples returns the number of observations in the bin for hour hr.
 func (h *HourlyEt) Samples(hr int) int {
 	h.mu.Lock()

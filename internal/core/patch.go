@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// PolicyPatch is an alternative policy/parameter set for counterfactual
+// replay (internal/whatif): each non-nil field overrides the corresponding
+// live parameter from the patched tick onward. Nil fields leave the factual
+// configuration untouched, so the zero patch replays the factual run.
+type PolicyPatch struct {
+	// Selection swaps the freeze-candidate ordering (the paper's hottest-
+	// first vs the ablation policies).
+	Selection *SelectionPolicy
+	// EtPercentile retargets every online HourlyEt estimator's percentile;
+	// accumulated observations are kept.
+	EtPercentile *float64
+	// RampFrac bounds per-tick effective-budget movement as a fraction of
+	// each domain's base budget, overriding any schedule's RampFrac. 0 turns
+	// ramping off (every budget change lands as a cliff).
+	RampFrac *float64
+	// Horizon swaps the solver: 1 = the closed-form SPCP, >1 = the exact
+	// horizon-N PCP.
+	Horizon *int
+	// MaxFreezeRatio and RStable retune the operational freeze cap and the
+	// §3.5 stability ratio.
+	MaxFreezeRatio *float64
+	RStable        *float64
+}
+
+// Empty reports whether the patch changes nothing.
+func (p PolicyPatch) Empty() bool {
+	return p.Selection == nil && p.EtPercentile == nil && p.RampFrac == nil &&
+		p.Horizon == nil && p.MaxFreezeRatio == nil && p.RStable == nil
+}
+
+// String renders the patch as "key=value key=value" in a fixed field order
+// (empty string for the zero patch) — the canonical form used in reports.
+func (p PolicyPatch) String() string {
+	var parts []string
+	if p.Selection != nil {
+		parts = append(parts, "policy="+p.Selection.String())
+	}
+	if p.EtPercentile != nil {
+		parts = append(parts, fmt.Sprintf("et-percentile=%g", *p.EtPercentile))
+	}
+	if p.RampFrac != nil {
+		parts = append(parts, fmt.Sprintf("ramp=%g", *p.RampFrac))
+	}
+	if p.Horizon != nil {
+		parts = append(parts, fmt.Sprintf("horizon=%d", *p.Horizon))
+	}
+	if p.MaxFreezeRatio != nil {
+		parts = append(parts, fmt.Sprintf("max-freeze=%g", *p.MaxFreezeRatio))
+	}
+	if p.RStable != nil {
+		parts = append(parts, fmt.Sprintf("rstable=%g", *p.RStable))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Reconfigure applies a policy patch to a running controller, atomically:
+// the patched configuration is validated in full before anything commits, so
+// a bad patch leaves the controller exactly as it was. It is the
+// counterfactual-replay divergence point — call it between ticks (whatif
+// calls it at a snapshot boundary before resuming the event loop).
+func (c *Controller) Reconfigure(p PolicyPatch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	cfg := c.cfg
+	if p.Selection != nil {
+		switch *p.Selection {
+		case SelectHottest, SelectColdest, SelectRandom:
+		default:
+			return fmt.Errorf("core: Reconfigure: unknown selection policy %d", int(*p.Selection))
+		}
+		cfg.Selection = *p.Selection
+	}
+	if p.EtPercentile != nil {
+		cfg.EtPercentile = *p.EtPercentile
+	}
+	if p.Horizon != nil {
+		cfg.Horizon = *p.Horizon
+	}
+	if p.MaxFreezeRatio != nil {
+		cfg.MaxFreezeRatio = *p.MaxFreezeRatio
+	}
+	if p.RStable != nil {
+		cfg.RStable = *p.RStable
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("core: Reconfigure: %w", err)
+	}
+	if p.RampFrac != nil {
+		if f := *p.RampFrac; math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f > 1 {
+			return fmt.Errorf("core: Reconfigure: RampFrac %v outside [0,1]", f)
+		}
+	}
+
+	// Validated; commit.
+	if p.EtPercentile != nil {
+		for _, ds := range c.domains {
+			if ds.hourly != nil {
+				if err := ds.hourly.SetPercentile(*p.EtPercentile); err != nil {
+					return err // unreachable: Validate covered the range
+				}
+			}
+		}
+	}
+	if p.RampFrac != nil {
+		c.rampOverride, c.haveRampOverride = *p.RampFrac, true
+	}
+	if cfg.Selection == SelectRandom && c.selRNG == nil {
+		c.selRNG = sim.SubRNG(cfg.SelectionSeed, "controller-random-selection")
+	}
+	c.cfg = cfg
+	return nil
+}

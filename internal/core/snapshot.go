@@ -1,0 +1,129 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/cluster"
+)
+
+// This file exports the controller's mutable per-domain state for the
+// counterfactual what-if engine (internal/whatif). A snapshot is a *witness*,
+// not a rehydration source: whatif rebuilds the whole stack from genesis and
+// fast-forwards it deterministically to the snapshot point, then verifies the
+// reconstructed state matches the captured witness byte-for-byte before
+// diverging (see DESIGN.md §9). ExportState therefore deep-copies everything
+// a tick can mutate — frozen sets, budget state, resilience latches, stats,
+// learned Et history — but deliberately excludes state the deterministic
+// rebuild regenerates on its own (RNG streams, the event queue, scratch
+// slices, wall-clock instrumentation).
+
+// PendingOpState is one in-flight freeze/unfreeze retry (resilience.go's
+// pendingOp), exported per server.
+type PendingOpState struct {
+	Server   cluster.ServerID
+	Unfreeze bool
+	Attempt  int
+}
+
+// DomainSnapshot is one domain's full mutable control state at a tick
+// boundary.
+type DomainSnapshot struct {
+	Name string
+
+	// Frozen is the committed frozen set, sorted by server ID; Pending holds
+	// armed retries, sorted by server ID.
+	Frozen  []cluster.ServerID
+	Pending []PendingOpState
+
+	// Effective-budget state (budget.go).
+	BudgetW       float64
+	BudgetPrevW   float64
+	BudgetTargetW float64
+	OverrideW     float64
+	HaveOverride  bool
+
+	// Et-trainer feed state.
+	PrevP    float64
+	PrevTMS  int64
+	HavePrev bool
+
+	// Resilience state.
+	LastGoodP       float64
+	LastGoodAtMS    int64
+	HaveGood        bool
+	Dark            int
+	DegradedSinceMS int64
+	FailSafe        bool
+	ConsecAPIErr    int64
+
+	// Last decision inputs (journal/metrics mirrors).
+	LastP      float64
+	LastEt     float64
+	LastTarget int
+
+	Stats DomainStats
+
+	// Hourly is the online Et estimator's learned history; nil when the
+	// domain uses an external estimator (whose state, if any, is outside the
+	// controller's custody).
+	Hourly *HourlyEtState
+}
+
+// ExportState deep-copies every domain's mutable control state, in domain
+// index order. Safe to call between ticks; takes the controller read lock.
+func (c *Controller) ExportState() []DomainSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DomainSnapshot, len(c.domains))
+	for i, ds := range c.domains {
+		snap := DomainSnapshot{
+			Name:          ds.d.Name,
+			BudgetW:       ds.budget,
+			BudgetPrevW:   ds.budgetPrev,
+			BudgetTargetW: ds.budgetTargetW,
+			OverrideW:     ds.overrideW,
+			HaveOverride:  ds.haveOverride,
+
+			PrevP:    ds.prevP,
+			PrevTMS:  int64(ds.prevT),
+			HavePrev: ds.havePrev,
+
+			LastGoodP:       ds.lastGoodP,
+			LastGoodAtMS:    int64(ds.lastGoodAt),
+			HaveGood:        ds.haveGood,
+			Dark:            ds.dark,
+			DegradedSinceMS: int64(ds.degradedSince),
+			FailSafe:        ds.failSafe,
+			ConsecAPIErr:    ds.consecAPIErr,
+
+			LastP:      ds.lastP,
+			LastEt:     ds.lastEt,
+			LastTarget: ds.lastTarget,
+
+			Stats: ds.stats,
+		}
+		snap.Frozen = make([]cluster.ServerID, 0, len(ds.frozen))
+		for id := range ds.frozen {
+			snap.Frozen = append(snap.Frozen, id)
+		}
+		slices.Sort(snap.Frozen)
+		snap.Pending = make([]PendingOpState, 0, len(ds.pending))
+		for id, op := range ds.pending {
+			if op.cancelled {
+				continue
+			}
+			snap.Pending = append(snap.Pending, PendingOpState{
+				Server: id, Unfreeze: op.unfreeze, Attempt: op.attempt,
+			})
+		}
+		slices.SortFunc(snap.Pending, func(a, b PendingOpState) int {
+			return int(a.Server) - int(b.Server)
+		})
+		if ds.hourly != nil {
+			st := ds.hourly.ExportState()
+			snap.Hourly = &st
+		}
+		out[i] = snap
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -200,20 +201,44 @@ func RunGridstorm(cfg GridstormConfig) ([]GridstormRun, error) {
 	return runs, nil
 }
 
-func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
-	regime := "cliff"
+// gridstormStack is one regime's fully constructed and started simulation:
+// setupGridstorm builds it, runGridstormOnce drives it to the end and scores
+// it, and GridstormBuilder (whatif.go) wraps it as a whatif.Instance.
+type gridstormStack struct {
+	cfg       GridstormConfig
+	regime    string
+	curtailed int
+	rowBudget float64
+
+	rig      *Rig
+	tracker  *Tracker
+	ctl      *core.Controller
+	breakers []*breaker.Breaker
+	inj      *chaos.Injector
+
+	dipT, restoreT, endT sim.Time
+
+	trippedRows   []int // rows whose breaker opened, in trip order
+	budgetChanges int   // effective-budget movements across all domains
+}
+
+// setupGridstorm constructs and starts one regime's stack against the
+// deterministic storm. When journal is non-nil the controller and scheduler
+// are journal-instrumented (decision events per domain per tick) — the
+// what-if path; instrumentation never changes decisions.
+func setupGridstorm(cfg GridstormConfig, ramped bool, journal *obs.Journal) (*gridstormStack, error) {
+	st := &gridstormStack{cfg: cfg, regime: "cliff"}
 	if ramped {
-		regime = "ramp"
+		st.regime = "ramp"
 	}
-	curtailed := int(float64(cfg.Rows)*cfg.CurtailedFrac + 0.5)
-	if curtailed < 1 {
-		curtailed = 1
+	st.curtailed = int(float64(cfg.Rows)*cfg.CurtailedFrac + 0.5)
+	if st.curtailed < 1 {
+		st.curtailed = 1
 	}
-	if curtailed >= cfg.Rows {
-		curtailed = cfg.Rows - 1
+	if st.curtailed >= cfg.Rows {
+		st.curtailed = cfg.Rows - 1
 	}
-	out := GridstormRun{Regime: regime, Rows: cfg.Rows, CurtailedRows: curtailed,
-		Servers: cfg.Rows * cfg.RowServers}
+	curtailed := st.curtailed
 
 	spec := quickRowSpec(cfg.Rows, cfg.RowServers)
 	perServer := workload.RateForPowerFraction(cfg.TargetFrac, spec.IdlePowerW, spec.RatedPowerW,
@@ -225,12 +250,14 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 
 	rig, err := NewRig(RigConfig{Seed: cfg.Seed, Cluster: spec, Products: []workload.Product{prod}})
 	if err != nil {
-		return out, err
+		return nil, err
 	}
+	st.rig = rig
 	// The row budget sits BudgetFrac below the feed's rating (see the
 	// package comment on why a curtailment experiment cannot also
 	// oversubscribe the budget).
 	rowBudget := spec.RowRatedPowerW() * cfg.BudgetFrac
+	st.rowBudget = rowBudget
 
 	groups := make([]Group, cfg.Rows)
 	for r := 0; r < cfg.Rows; r++ {
@@ -242,8 +269,9 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 	}
 	tracker, err := NewTracker(rig, groups)
 	if err != nil {
-		return out, err
+		return nil, err
 	}
+	st.tracker = tracker
 
 	// One controller, one domain per row, enforcing the margined envelope.
 	// The ramp regime's schedule has no steps: it is purely the per-tick
@@ -268,7 +296,12 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 	ccfg.Parallel = cfg.CtlParallel
 	ctl, err := core.New(rig.Eng, rig.Mon, rig.Sched, ccfg, domains)
 	if err != nil {
-		return out, err
+		return nil, err
+	}
+	st.ctl = ctl
+	if journal != nil {
+		rig.Sched.Instrument(nil, journal)
+		ctl.Instrument(nil, journal)
 	}
 	tracker.AddProbe("frozen", func() float64 {
 		total := 0
@@ -289,17 +322,18 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 	for r := 0; r < cfg.Rows; r++ {
 		b, err := breaker.New(rig.Eng, bcfg, rig.Cluster.Row(r))
 		if err != nil {
-			return out, err
+			return nil, err
 		}
 		r := r
-		b.OnTrip(func(sim.Time) { out.TrippedRows = append(out.TrippedRows, r) })
+		b.OnTrip(func(sim.Time) { st.trippedRows = append(st.trippedRows, r) })
 		breakers[r] = b
 	}
+	st.breakers = breakers
 	// The relay protects what the feed actually enforces: during a ramped
 	// ride-through the UPS bridges the envelope gap, so the protected limit
 	// follows the controller's effective budget (unscaled by the margin).
 	ctl.OnBudgetChange(func(bc core.BudgetChange) {
-		out.BudgetChanges++
+		st.budgetChanges++
 		if err := breakers[bc.Domain].SetBudget(bc.NewW / gridMargin); err != nil {
 			panic(err) // NewW is controller-validated; this cannot fail
 		}
@@ -311,16 +345,18 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 	// while still flowing through the splitmix64 decision path shared with
 	// every other chaos fault.
 	dipT := sim.Time(cfg.Warmup + cfg.DipAfter)
-	restoreT := dipT.Add(cfg.DipLen)
-	endT := restoreT.Add(cfg.Tail)
+	st.dipT = dipT
+	st.restoreT = dipT.Add(cfg.DipLen)
+	st.endT = st.restoreT.Add(cfg.Tail)
 	plan := chaos.Plan{Seed: cfg.Seed + 17, Faults: []chaos.Fault{{
 		Kind: chaos.BudgetDip, From: dipT, To: dipT.Add(sim.Minute),
 		Rate: 1, Depth: cfg.DipDepth, Dwell: cfg.DipLen,
 	}}}
 	inj, err := chaos.New(rig.Eng, plan)
 	if err != nil {
-		return out, err
+		return nil, err
 	}
+	st.inj = inj
 
 	// Start order at each minute boundary: monitor sweep (fresh samples and
 	// tracker budgets recorded), then the storm driver (envelope moves),
@@ -339,9 +375,29 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 		b.Start()
 	}
 	ctl.Start()
-	if err := rig.Run(endT); err != nil {
+	return st, nil
+}
+
+func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
+	st, err := setupGridstorm(cfg, ramped, nil)
+	if err != nil {
+		return GridstormRun{}, err
+	}
+	out := GridstormRun{Regime: st.regime, Rows: cfg.Rows, CurtailedRows: st.curtailed,
+		Servers: cfg.Rows * cfg.RowServers}
+	if err := st.rig.Run(st.endT); err != nil {
 		return out, err
 	}
+	st.analyze(&out)
+	return out, nil
+}
+
+// analyze scores a completed run into out.
+func (st *gridstormStack) analyze(out *GridstormRun) {
+	cfg, tracker := st.cfg, st.tracker
+	dipT, restoreT := st.dipT, st.restoreT
+	out.TrippedRows = st.trippedRows
+	out.BudgetChanges = st.budgetChanges
 
 	// Windows, in sample indices. The envelope the tracker judged against
 	// moved with the storm, so violations here are against the curtailed
@@ -377,10 +433,9 @@ func runGridstormOnce(cfg GridstormConfig, ramped bool) (GridstormRun, error) {
 		}
 	}
 	out.Trips = len(out.TrippedRows)
-	st := inj.Stats()
-	out.Dips = st.BudgetDips
-	out.CurtailedMinutes = st.CurtailedIntervals
-	return out, nil
+	ist := st.inj.Stats()
+	out.Dips = ist.BudgetDips
+	out.CurtailedMinutes = ist.CurtailedIntervals
 }
 
 // FormatGridstorm renders the regime comparison; all columns are

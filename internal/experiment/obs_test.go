@@ -43,6 +43,7 @@ func newObservedRig(t *testing.T) (*Rig, *obs.Registry, *obs.Journal) {
 	rig.Mon.Instrument(reg)
 	rig.DB.Instrument(reg)
 	rig.Sched.Instrument(reg, journal)
+	journal.Instrument(reg)
 	rig.StartBase()
 
 	inj, err := chaos.New(rig.Eng, chaos.Plan{Seed: 7})
@@ -110,6 +111,8 @@ func TestFullRigMetricsCoverage(t *testing.T) {
 		`breaker_evaluations_total{domain="row/0"} `,
 		"chaos_api_failures_total 0",
 		"chaos_reads_blacked_out_total 0",
+		"obs_journal_events_total 62",
+		"obs_journal_evicted_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("scrape missing %q", want)

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunWhatifDeterministic pins the -exp whatif acceptance: the demo's
+// rendered output is byte-identical across runs, and the headline result
+// holds — the ramped-budget counterfactual avoids every cliff-regime trip
+// from a byte-verified mid-storm snapshot.
+func TestRunWhatifDeterministic(t *testing.T) {
+	cfg := QuickGridstorm()
+	var outs [2]bytes.Buffer
+	for i := range outs {
+		res, err := RunWhatif(cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !res.SelfIdentical {
+			t.Fatalf("run %d: self-replay diverged", i)
+		}
+		if res.Report.Factual.Trips == 0 {
+			t.Fatalf("run %d: cliff regime tripped no breakers", i)
+		}
+		if res.Report.TripsAvoided != res.Report.Factual.Trips {
+			t.Fatalf("run %d: ramped counterfactual avoided %d of %d trips",
+				i, res.Report.TripsAvoided, res.Report.Factual.Trips)
+		}
+		FormatWhatif(&outs[i], res)
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Fatalf("whatif demo output not deterministic:\n--- run 0 ---\n%s--- run 1 ---\n%s",
+			outs[0].String(), outs[1].String())
+	}
+}

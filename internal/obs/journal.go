@@ -70,11 +70,12 @@ const DefaultJournalCap = 4096
 // never allocate once the ring is full; when capacity is reached the oldest
 // event is overwritten. All methods are safe for concurrent use.
 type Journal struct {
-	mu    sync.Mutex
-	buf   []Event
-	w     int    // next write position once the ring is full
-	total uint64 // events ever appended; also the next sequence number
-	cap   int
+	mu      sync.Mutex
+	buf     []Event
+	w       int    // next write position once the ring is full
+	total   uint64 // events ever appended; also the next sequence number
+	evicted uint64 // events overwritten after the ring filled
+	cap     int
 }
 
 // NewJournal returns a journal retaining the last capacity events
@@ -97,6 +98,7 @@ func (j *Journal) Append(ev Event) uint64 {
 	} else {
 		j.buf[j.w] = ev
 		j.w = (j.w + 1) % j.cap
+		j.evicted++
 	}
 	return ev.Seq
 }
@@ -118,6 +120,26 @@ func (j *Journal) Total() uint64 {
 	return j.total
 }
 
+// Evicted returns the number of events overwritten by ring wraparound —
+// the count of journal history lost to a too-small capacity.
+func (j *Journal) Evicted() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evicted
+}
+
+// OldestSeq returns the sequence number of the oldest retained event
+// (equal to Total when the journal is empty).
+func (j *Journal) OldestSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.oldestSeqLocked()
+}
+
+func (j *Journal) oldestSeqLocked() uint64 {
+	return j.total - uint64(len(j.buf))
+}
+
 // Snapshot returns every retained event, oldest first.
 func (j *Journal) Snapshot() []Event { return j.Last(-1) }
 
@@ -126,6 +148,10 @@ func (j *Journal) Snapshot() []Event { return j.Last(-1) }
 func (j *Journal) Last(n int) []Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.lastLocked(n)
+}
+
+func (j *Journal) lastLocked(n int) []Event {
 	if n < 0 || n > len(j.buf) {
 		n = len(j.buf)
 	}
@@ -141,6 +167,47 @@ func (j *Journal) Last(n int) []Event {
 		out[i] = j.buf[(start+skip+i)%len(j.buf)]
 	}
 	return out
+}
+
+// Since returns every retained event with Seq >= seq, oldest first. When
+// seq is older than the retained window the result silently starts at the
+// oldest retained event — callers detect the gap by comparing the first
+// returned Seq (or OldestSeq) against the cursor they asked for.
+func (j *Journal) Since(seq uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq >= j.total {
+		return []Event{}
+	}
+	oldest := j.oldestSeqLocked()
+	if seq < oldest {
+		seq = oldest
+	}
+	return j.lastLocked(int(j.total - seq))
+}
+
+// Instrument registers the journal's scrape-time collectors on reg:
+//
+//	obs_journal_events_total   — events ever appended (= next sequence number)
+//	obs_journal_evicted_total  — events lost to ring overwrite; a nonzero
+//	                             rate means -journal-cap is too small for
+//	                             the scrape interval
+//
+// A nil registry is tolerated (journal-only wiring).
+func (j *Journal) Instrument(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector("obs_journal_events_total",
+		"Decision-journal events ever appended.",
+		TypeCounter, nil, func(emit Emit) {
+			emit(nil, float64(j.Total()))
+		})
+	reg.RegisterCollector("obs_journal_evicted_total",
+		"Decision-journal events overwritten by ring eviction.",
+		TypeCounter, nil, func(emit Emit) {
+			emit(nil, float64(j.Evicted()))
+		})
 }
 
 // WriteJSONL writes every retained event, oldest first, one JSON object per
@@ -159,17 +226,27 @@ func (j *Journal) WriteJSONL(w io.Writer) error {
 //
 //	GET /events?n=256          → JSON array of the last n events (oldest
 //	                             first; n defaults to 256, -1 = everything)
-//	GET /events?format=jsonl   → the retained window as JSONL
+//	GET /events?since=1234     → every retained event with seq >= 1234
+//	                             (incremental tailing; overrides n)
+//	GET /events?format=jsonl   → the selected window as JSONL (defaults to
+//	                             the whole retained window, not 256)
 //
-// The response also carries X-Journal-Total, the count of events ever
-// appended, so a scraper can detect gaps after ring eviction.
+// The response carries X-Journal-Total (events ever appended) and
+// X-Journal-Oldest (sequence number of the oldest retained event). A tailer
+// polling with since=<last seen seq + 1> detects a gap when the first
+// returned event's seq — equivalently X-Journal-Oldest — exceeds its cursor:
+// the ring evicted events between polls.
 func (j *Journal) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		jsonl := r.URL.Query().Get("format") == "jsonl"
 		n := 256
+		if jsonl {
+			n = -1 // the export format defaults to the whole retained window
+		}
 		if s := r.URL.Query().Get("n"); s != "" {
 			v, err := strconv.Atoi(s)
 			if err != nil {
@@ -178,15 +255,32 @@ func (j *Journal) Handler() http.Handler {
 			}
 			n = v
 		}
+		var events []Event
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			events = j.Since(v)
+		} else {
+			events = j.Last(n)
+		}
 		w.Header().Set("X-Journal-Total", strconv.FormatUint(j.Total(), 10))
-		if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("X-Journal-Oldest", strconv.FormatUint(j.OldestSeq(), 10))
+		if jsonl {
 			w.Header().Set("Content-Type", "application/x-ndjson")
-			_ = j.WriteJSONL(w)
+			enc := json.NewEncoder(w)
+			for _, ev := range events {
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
 			return
 		}
 		// Marshal before touching the status line so an encoding failure
 		// can still become a clean 500.
-		buf, err := json.Marshal(j.Last(n))
+		buf, err := json.Marshal(events)
 		if err != nil {
 			http.Error(w, "response encoding failed", http.StatusInternalServerError)
 			return

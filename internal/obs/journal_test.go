@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -129,6 +131,173 @@ func TestJournalWriteJSONL(t *testing.T) {
 	}
 	if want := []uint64{2, 3, 4, 5}; fmt.Sprint(seqs) != fmt.Sprint(want) {
 		t.Errorf("JSONL seqs = %v, want %v", seqs, want)
+	}
+}
+
+func TestJournalSince(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Domain: fmt.Sprintf("d%d", i)})
+	}
+	// Retained window is seq 6..9; evicted 0..5.
+	if got := j.Evicted(); got != 6 {
+		t.Errorf("Evicted = %d, want 6", got)
+	}
+	if got := j.OldestSeq(); got != 6 {
+		t.Errorf("OldestSeq = %d, want 6", got)
+	}
+	cases := []struct {
+		since    uint64
+		wantLen  int
+		firstSeq uint64
+	}{
+		{8, 2, 8},      // in-window cursor
+		{6, 4, 6},      // exactly the oldest retained
+		{2, 4, 6},      // pre-eviction cursor clamps to oldest (gap!)
+		{0, 4, 6},      // genesis cursor, same clamp
+		{10, 0, 0},     // at the tail: nothing new
+		{999999, 0, 0}, // far future
+	}
+	for _, tc := range cases {
+		got := j.Since(tc.since)
+		if len(got) != tc.wantLen {
+			t.Errorf("Since(%d): len = %d, want %d", tc.since, len(got), tc.wantLen)
+			continue
+		}
+		if tc.wantLen > 0 && got[0].Seq != tc.firstSeq {
+			t.Errorf("Since(%d): first Seq = %d, want %d", tc.since, got[0].Seq, tc.firstSeq)
+		}
+	}
+	// Sequence numbers must be contiguous within a Since window.
+	evs := j.Since(6)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("Since window not contiguous: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestJournalEvictedCounting(t *testing.T) {
+	j := NewJournal(3)
+	for i := 0; i < 3; i++ {
+		j.Append(Event{})
+	}
+	if got := j.Evicted(); got != 0 {
+		t.Fatalf("Evicted before wraparound = %d, want 0", got)
+	}
+	j.Append(Event{})
+	if got := j.Evicted(); got != 1 {
+		t.Fatalf("Evicted after one overwrite = %d, want 1", got)
+	}
+	if got := j.Total() - uint64(j.Len()); got != j.Evicted() {
+		t.Errorf("Total-Len = %d, Evicted = %d; want equal", got, j.Evicted())
+	}
+}
+
+func TestJournalInstrument(t *testing.T) {
+	j := NewJournal(2)
+	for i := 0; i < 5; i++ {
+		j.Append(Event{})
+	}
+	reg := NewRegistry()
+	j.Instrument(reg)
+	j.Instrument(nil) // journal-only wiring must be a no-op, not a panic
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"obs_journal_events_total 5",
+		"obs_journal_evicted_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestJournalHandlerSinceCursor covers the incremental-tailing contract: a
+// client polls with since=<last seq + 1> and uses X-Journal-Oldest to detect
+// ring eviction between polls (the gap-detection header interaction).
+func TestJournalHandlerSinceCursor(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Domain: fmt.Sprintf("d%d", i)})
+	}
+	// Retained: seq 2..5.
+	srv := httptest.NewServer(j.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, []Event, http.Header) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var evs []Event
+		if resp.StatusCode == 200 {
+			if err := json.Unmarshal(body, &evs); err != nil {
+				t.Fatalf("response not JSON: %v: %q", err, body)
+			}
+		}
+		return resp.StatusCode, evs, resp.Header
+	}
+
+	// In-window cursor: no gap. oldest (2) <= cursor (4).
+	code, evs, hdr := get("/?since=4")
+	if code != 200 || len(evs) != 2 || evs[0].Seq != 4 || evs[1].Seq != 5 {
+		t.Fatalf("since=4: code=%d evs=%+v", code, evs)
+	}
+	if got := hdr.Get("X-Journal-Oldest"); got != "2" {
+		t.Errorf("X-Journal-Oldest = %q, want 2", got)
+	}
+	if got := hdr.Get("X-Journal-Total"); got != "6" {
+		t.Errorf("X-Journal-Total = %q, want 6", got)
+	}
+
+	// Stale cursor: the client last saw seq 0 and asks since=1, but the ring
+	// has evicted 0..1. The response clamps to the oldest retained event and
+	// the headers expose the gap: oldest (2) > cursor (1).
+	code, evs, hdr = get("/?since=1")
+	if code != 200 || len(evs) != 4 || evs[0].Seq != 2 {
+		t.Fatalf("since=1: code=%d evs=%+v", code, evs)
+	}
+	oldest, err := strconv.ParseUint(hdr.Get("X-Journal-Oldest"), 10, 64)
+	if err != nil {
+		t.Fatalf("X-Journal-Oldest unparseable: %v", err)
+	}
+	if cursor := uint64(1); oldest <= cursor {
+		t.Errorf("gap not detectable: oldest %d <= cursor %d", oldest, cursor)
+	}
+	if evs[0].Seq != oldest {
+		t.Errorf("first event seq %d != X-Journal-Oldest %d", evs[0].Seq, oldest)
+	}
+
+	// Caught-up cursor: nothing new, empty array (not null), headers intact.
+	code, evs, hdr = get("/?since=6")
+	if code != 200 || len(evs) != 0 {
+		t.Fatalf("since=6: code=%d evs=%+v", code, evs)
+	}
+	if got := hdr.Get("X-Journal-Total"); got != "6" {
+		t.Errorf("X-Journal-Total = %q, want 6", got)
+	}
+
+	// since combines with format=jsonl.
+	resp, err := srv.Client().Get(srv.URL + "/?since=4&format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if lines := strings.Count(string(body), "\n"); lines != 2 {
+		t.Errorf("since=4 jsonl lines = %d, want 2: %q", lines, body)
+	}
+
+	// Malformed cursor is a 400.
+	if code, _, _ := get("/?since=-3"); code != 400 {
+		t.Errorf("since=-3 = %d, want 400", code)
 	}
 }
 

@@ -1,0 +1,185 @@
+package whatif
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/breaker"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/monitor"
+)
+
+// sampleSnapshot exercises every encoded field: multiple domains (with and
+// without hourly-Et state), pending ops, NaN and signed-zero floats, empty
+// and populated slices.
+func sampleSnapshot() *Snapshot {
+	hourly := &core.HourlyEtState{Percentile: 95, Default: 0.05, MinSamples: 8, Window: 30}
+	hourly.Bins[0] = core.EtBinState{Sorted: []float64{0.01, 0.02, math.NaN()}, Ring: []float64{0.02, 0.01}, Head: 1}
+	hourly.Bins[23] = core.EtBinState{Sorted: []float64{math.Copysign(0, -1)}, Ring: []float64{0}, Head: 0}
+	return &Snapshot{
+		SimMS:      1_800_000,
+		Seed:       0xDEADBEEF,
+		ConfigTag:  "gridstorm/cliff seed=1 rows=4x80",
+		JournalSeq: 120,
+		Domains: []core.DomainSnapshot{
+			{
+				Name:    "row0",
+				Frozen:  []cluster.ServerID{3, 17, 42},
+				Pending: []core.PendingOpState{{Server: 9, Unfreeze: true, Attempt: 2}},
+				BudgetW: 19000, BudgetPrevW: 24000, BudgetTargetW: 19000,
+				OverrideW: 0, HaveOverride: false,
+				PrevP: 18950.5, PrevTMS: 1_740_000, HavePrev: true,
+				LastGoodP: 18950.5, LastGoodAtMS: 1_740_000, HaveGood: true,
+				Dark: 0, DegradedSinceMS: -1, FailSafe: false, ConsecAPIErr: 0,
+				LastP: 18950.5, LastEt: 0.03, LastTarget: 12,
+				Stats: core.DomainStats{
+					Ticks: 29, Violations: 2, ControlledTicks: 5,
+					FreezeOps: 14, UnfreezeOps: 11, USum: 1.5, UMax: 0.2,
+					PSum: 27.1, PMax: 1.05, StaleTicks: 1, DegradedDwell: 60000,
+				},
+				Hourly: hourly,
+			},
+			{Name: "row1", BudgetW: 24000, LastEt: math.Inf(1)},
+		},
+		Servers: []cluster.ServerState{
+			{Busy: 3, CPULoad: 0.55, Frozen: true, Failed: false, Speed: 1.08, CapLevelW: 200, NoiseW: -3.25},
+			{Busy: 0, CPULoad: 0, Frozen: false, Failed: true, Speed: 0.97, CapLevelW: 250, NoiseW: math.NaN()},
+		},
+		Monitor: monitor.State{
+			LastServer: []float64{210.5, 0, 198.2},
+			LastRow:    []float64{612.7},
+			LastRack:   nil,
+			LastTimeMS: 1_799_000, HaveSample: true,
+			Sweeps: 360, Dropped: 2, WriteErrors: 1,
+		},
+		Breakers: []BreakerSnapshot{
+			{Name: "row0", State: breaker.State{BudgetW: 19297, Heat: 2.5, Tripped: false, TripAtMS: -1, Evaluated: 360}},
+			{Name: "row1", State: breaker.State{BudgetW: 24380, Heat: 0, Tripped: true, TripAtMS: 1_810_000, Evaluated: 361}},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for name, snap := range map[string]*Snapshot{
+		"rich":    sampleSnapshot(),
+		"empty":   {},
+		"genesis": {SimMS: 0, Seed: 1, ConfigTag: "g", JournalSeq: 0},
+	} {
+		b1 := Encode(snap)
+		got, err := Decode(b1)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		b2 := Encode(got)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: round trip not byte-identical (%d vs %d bytes)", name, len(b1), len(b2))
+		}
+	}
+
+	// Spot-check decoded values, including the NaN bit pattern.
+	snap := sampleSnapshot()
+	got, err := Decode(Encode(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SimMS != snap.SimMS || got.Seed != snap.Seed || got.ConfigTag != snap.ConfigTag ||
+		got.JournalSeq != snap.JournalSeq {
+		t.Fatalf("header fields did not round-trip: %+v", got)
+	}
+	if len(got.Domains) != 2 || got.Domains[0].Name != "row0" ||
+		len(got.Domains[0].Frozen) != 3 || got.Domains[0].Frozen[2] != 42 {
+		t.Fatalf("domains did not round-trip: %+v", got.Domains)
+	}
+	if got.Domains[0].Hourly == nil || got.Domains[1].Hourly != nil {
+		t.Fatalf("hourly presence did not round-trip")
+	}
+	if !math.IsNaN(got.Domains[0].Hourly.Bins[0].Sorted[2]) {
+		t.Fatalf("NaN did not round-trip: %v", got.Domains[0].Hourly.Bins[0].Sorted)
+	}
+	if !math.IsNaN(got.Servers[1].NoiseW) || !got.Servers[0].Frozen || !got.Servers[1].Failed {
+		t.Fatalf("servers did not round-trip: %+v", got.Servers)
+	}
+	if got.Breakers[1].Name != "row1" || !got.Breakers[1].State.Tripped ||
+		got.Breakers[1].State.TripAtMS != 1_810_000 {
+		t.Fatalf("breakers did not round-trip: %+v", got.Breakers)
+	}
+	if got.Monitor.LastTimeMS != 1_799_000 || len(got.Monitor.LastServer) != 3 {
+		t.Fatalf("monitor did not round-trip: %+v", got.Monitor)
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	b := Encode(sampleSnapshot())
+	for n := 0; n < len(b); n++ {
+		if _, err := Decode(b[:n]); err == nil {
+			t.Fatalf("decode accepted %d-byte truncation of a %d-byte snapshot", n, len(b))
+		}
+	}
+}
+
+func TestCodecRejectsBitFlips(t *testing.T) {
+	orig := Encode(sampleSnapshot())
+	// Any single-byte corruption breaks the CRC seal (flipping a trailer byte
+	// breaks it from the other side).
+	for i := 0; i < len(orig); i++ {
+		mut := bytes.Clone(orig)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("decode accepted corruption at byte %d/%d", i, len(orig))
+		}
+	}
+}
+
+// seal appends the codec's CRC trailer to a hand-built body.
+func seal(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+func TestCodecRejectsVersionMismatch(t *testing.T) {
+	body := append([]byte{}, codecMagic[:]...)
+	body = binary.AppendUvarint(body, codecVersion+1)
+	_, err := Decode(seal(body))
+	if err == nil || !strings.Contains(err.Error(), "unsupported snapshot version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	b := Encode(&Snapshot{})
+	b[0] = 'X'
+	if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+func TestCodecRejectsTrailingBytes(t *testing.T) {
+	body := Encode(&Snapshot{})
+	body = body[:len(body)-4] // strip the seal
+	body = append(body, 0)    // smuggle in an extra byte
+	_, err := Decode(seal(body))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+}
+
+// TestCodecRejectsHugeLengths pins the allocation guard: a sealed body whose
+// slice length claims far more elements than bytes remain must error without
+// attempting the allocation.
+func TestCodecRejectsHugeLengths(t *testing.T) {
+	body := append([]byte{}, codecMagic[:]...)
+	body = binary.AppendUvarint(body, codecVersion)
+	body = binary.AppendVarint(body, 0)      // SimMS
+	body = binary.AppendUvarint(body, 0)     // Seed
+	body = binary.AppendUvarint(body, 0)     // ConfigTag len
+	body = binary.AppendUvarint(body, 0)     // JournalSeq
+	body = binary.AppendUvarint(body, 1<<40) // domain count: absurd
+	_, err := Decode(seal(body))
+	if err == nil || !strings.Contains(err.Error(), "length") {
+		t.Fatalf("want length error, got %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package whatif
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotCodec pins two properties of the snapshot codec against
+// arbitrary input:
+//
+//  1. Decode never panics and never allocates unboundedly — truncated or
+//     corrupt bytes return an error.
+//  2. Anything Decode accepts re-encodes stably: Encode(Decode(b)) decodes
+//     to the same value and encodes to the same bytes a second time around.
+//     (Fuzzed input may use non-minimal varints, so Encode(Decode(b)) == b
+//     does not hold in general; idempotence after one normalization does.)
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("AMPW"))
+	f.Add(Encode(&Snapshot{}))
+	f.Add(Encode(sampleSnapshot()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		b1 := Encode(s)
+		s2, err := Decode(b1)
+		if err != nil {
+			t.Fatalf("re-decode of a normalized encoding failed: %v", err)
+		}
+		b2 := Encode(s2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encoding not stable: %d vs %d bytes", len(b1), len(b2))
+		}
+	})
+}

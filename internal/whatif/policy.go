@@ -1,0 +1,95 @@
+package whatif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParsePatch parses the operator-facing alternative-policy syntax used by
+// `ampere-trace why -alt` and powermon's /whatif endpoint: space- or
+// comma-separated key=value pairs.
+//
+//	policy=hottest|coldest|random   freeze-candidate selection
+//	et-percentile=95                HourlyEt percentile retarget
+//	ramp=0.0067                     per-tick budget ramp limit (fraction of
+//	                                base budget; 0 = cliff)
+//	horizon=5                       solver choice: 1 = SPCP closed form,
+//	                                >1 = exact horizon-N PCP
+//	max-freeze=0.5                  operational freeze-ratio cap
+//	rstable=0.8                     §3.5 stability ratio
+//
+// The empty string parses to the empty patch (self-replay).
+func ParsePatch(s string) (core.PolicyPatch, error) {
+	return parsePatch(s)
+}
+
+// MustParsePatch is ParsePatch for compile-time-constant patch strings.
+func MustParsePatch(s string) core.PolicyPatch {
+	p, err := parsePatch(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parsePatch(s string) (core.PolicyPatch, error) {
+	var p core.PolicyPatch
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' })
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return p, fmt.Errorf("whatif: bad patch term %q, want key=value", f)
+		}
+		switch key {
+		case "policy", "selection":
+			var sel core.SelectionPolicy
+			switch val {
+			case "hottest":
+				sel = core.SelectHottest
+			case "coldest":
+				sel = core.SelectColdest
+			case "random":
+				sel = core.SelectRandom
+			default:
+				return p, fmt.Errorf("whatif: unknown policy %q (hottest|coldest|random)", val)
+			}
+			p.Selection = &sel
+		case "et-percentile":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("whatif: bad et-percentile %q: %v", val, err)
+			}
+			p.EtPercentile = &v
+		case "ramp":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("whatif: bad ramp %q: %v", val, err)
+			}
+			p.RampFrac = &v
+		case "horizon":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return p, fmt.Errorf("whatif: bad horizon %q: %v", val, err)
+			}
+			p.Horizon = &v
+		case "max-freeze":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("whatif: bad max-freeze %q: %v", val, err)
+			}
+			p.MaxFreezeRatio = &v
+		case "rstable":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("whatif: bad rstable %q: %v", val, err)
+			}
+			p.RStable = &v
+		default:
+			return p, fmt.Errorf("whatif: unknown patch key %q", key)
+		}
+	}
+	return p, nil
+}
