@@ -4,9 +4,10 @@
 # state between parallel run units would first show up).
 .PHONY: tier1 build lint vet test race race-shuffle fuzz fuzz-smoke chaos \
 	bench-runner bench-scale bench-scale-quick bench-check gridstorm \
-	whatif whatif-smoke
+	whatif whatif-smoke tournament tournament-smoke
 
-tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke whatif-smoke
+tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke whatif-smoke \
+	tournament-smoke
 
 build:
 	go build ./...
@@ -37,6 +38,7 @@ race-shuffle:
 fuzz:
 	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
 	go test ./internal/scenario/ -fuzz FuzzBudgetSchedule -fuzztime 30s
+	go test ./internal/scenario/ -fuzz FuzzPolicySpec -fuzztime 30s
 	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
 	go test ./internal/whatif/ -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime 30s
 
@@ -45,6 +47,7 @@ fuzz:
 fuzz-smoke:
 	go test ./internal/scenario/ -fuzz FuzzLoad -fuzztime 30s
 	go test ./internal/scenario/ -fuzz FuzzBudgetSchedule -fuzztime 30s
+	go test ./internal/scenario/ -fuzz FuzzPolicySpec -fuzztime 30s
 	go test ./internal/tsdb/ -fuzz FuzzQueryAPI -fuzztime 30s
 	go test ./internal/whatif/ -run '^$$' -fuzz FuzzSnapshotCodec -fuzztime 30s
 
@@ -65,6 +68,19 @@ whatif:
 # mid-storm, self-replay, and require an empty diff.
 whatif-smoke:
 	go test ./internal/whatif/ -run TestWhatifSelfDiff400 -count=1
+
+# Policy tournament: fork one factual gridstorm cliff run at dip onset and
+# replay the default policy grid (selection × Et estimator × unfreeze ×
+# horizon × ramp) from the shared snapshot, ranked by trips / violation
+# ticks / frozen capacity / completed jobs. Full 100k-server grid:
+# `go run ./cmd/ampere-exp -exp tournament`.
+tournament:
+	go run ./cmd/ampere-exp -exp tournament -quick
+
+# Tier-1's tournament smoke: a 400-server grid over five patches, ranked
+# deterministically and byte-identical at replay worker counts 1 and 4.
+tournament-smoke:
+	go test ./internal/experiment/ -run TestTournamentSmoke400 -count=1
 
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:

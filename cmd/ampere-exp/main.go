@@ -5,7 +5,7 @@
 //
 //	ampere-exp -exp fig1|fig2|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|
 //	                table2|table3|spread|outage|chaos|ablations|scale|
-//	                gridstorm|all
+//	                gridstorm|whatif|tournament|all
 //	           [-quick] [-seed N] [-out dir] [-parallel N] [-ctl-parallel N]
 //
 // -quick shrinks cluster sizes and time spans for a fast pass (the same
@@ -61,29 +61,30 @@ func main() {
 	flag.Parse()
 
 	runners := map[string]func(io.Writer, runCtx) error{
-		"fig1":      runFig1,
-		"fig2":      runFig2,
-		"fig4":      runFig4,
-		"fig5":      runFig5,
-		"fig7":      runFig7,
-		"fig8":      runFig8,
-		"fig9":      runFig9,
-		"fig10":     runFig10Table2,
-		"table2":    runFig10Table2,
-		"fig11":     runFig11,
-		"fig12":     runFig12,
-		"table3":    runTable3,
-		"spread":    runSpread,
-		"outage":    runOutage,
-		"chaos":     runChaos,
-		"ablations": runAblations,
-		"scale":     runScale,
-		"gridstorm": runGridstorm,
-		"whatif":    runWhatif,
+		"fig1":       runFig1,
+		"fig2":       runFig2,
+		"fig4":       runFig4,
+		"fig5":       runFig5,
+		"fig7":       runFig7,
+		"fig8":       runFig8,
+		"fig9":       runFig9,
+		"fig10":      runFig10Table2,
+		"table2":     runFig10Table2,
+		"fig11":      runFig11,
+		"fig12":      runFig12,
+		"table3":     runTable3,
+		"spread":     runSpread,
+		"outage":     runOutage,
+		"chaos":      runChaos,
+		"ablations":  runAblations,
+		"scale":      runScale,
+		"gridstorm":  runGridstorm,
+		"whatif":     runWhatif,
+		"tournament": runTournament,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations",
-		"scale", "gridstorm", "whatif"}
+		"scale", "gridstorm", "whatif", "tournament"}
 
 	var ids []string
 	if *exp == "all" {
@@ -455,6 +456,28 @@ func runWhatif(w io.Writer, rc runCtx) error {
 	}
 	experiment.FormatWhatif(w, res)
 	return nil
+}
+
+// runTournament forks one factual gridstorm cliff run at dip onset and
+// replays the default policy grid (selection × Et estimator × unfreeze ×
+// horizon × ramp) from the shared snapshot, ranking the contenders by
+// trips, violation ticks, frozen capacity and completed jobs. Replays fan
+// across -parallel workers; output is byte-identical at any worker count.
+// -out additionally writes the ranked result as tournament.json.
+func runTournament(w io.Writer, rc runCtx) error {
+	cfg := experiment.DefaultTournament()
+	if rc.quick {
+		cfg = experiment.QuickTournament()
+	}
+	cfg.Grid.Seed = pick(rc.seed, cfg.Grid.Seed)
+	cfg.Grid.CtlParallel = rc.ctlParallel
+	cfg.Parallel = rc.parallel
+	res, err := experiment.RunTournament(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatTournament(w, res)
+	return writeCSV(rc.outDir, "tournament.json", func(w *os.File) error { return res.WriteJSON(w) })
 }
 
 func runTable3(w io.Writer, rc runCtx) error {

@@ -19,7 +19,9 @@ func why(args []string) error {
 	event := fs.Int64("event", -1,
 		"journal event seq to fork at (-1: the first budget-change, i.e. the dip onset)")
 	alt := fs.String("alt", "",
-		"counterfactual patch, e.g. 'policy=coldest,ramp=0.02'; 'self' replays the factual policy; default: ramped budget")
+		"counterfactual patch, e.g. 'policy=coldest,et=ewma,unfreeze=headroom,ramp=0.02' "+
+			"(keys: policy, et, et-percentile, et-alpha, et-band, ramp, horizon, max-freeze, "+
+			"rstable, unfreeze, headroom-trigger, headroom-step); 'self' replays the factual policy; default: ramped budget")
 	regime := fs.String("regime", "cliff", "factual gridstorm regime: cliff|ramp")
 	full := fs.Bool("full", false, "paper-scale gridstorm (100k servers); default is the quick 320-server configuration")
 	seed := fs.Uint64("seed", 0, "override the scenario seed (0 = scenario default)")

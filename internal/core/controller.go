@@ -106,6 +106,25 @@ type Config struct {
 	// the window caps month-long-simulation memory and keeps steady-state
 	// ticks allocation-free once every bin is full.
 	EtWindow int
+	// EtMode selects the online estimator family built for domains with
+	// Et == nil (and swapped in wholesale by a PolicyPatch.EtMode): the
+	// paper's static hourly percentile (EtStatic, the default), an EWMA
+	// mean-plus-band forecast, or a per-hour seasonal-naive forecast. See
+	// forecast.go. EtAlpha and EtBand tune the EWMA; zero selects the
+	// deployment defaults (0.25 and 3).
+	EtMode  EtMode
+	EtAlpha float64
+	EtBand  float64
+	// Unfreeze selects the release path: straight down to the solver's
+	// target (UnfreezeAll, the paper's behavior and the default), or gated
+	// on spare power headroom with a bounded per-tick drain
+	// (UnfreezeHeadroom). HeadroomTrigger is the minimum spare headroom
+	// (1 − Et) − P before any release; HeadroomStepFrac bounds one tick's
+	// release to that fraction of the domain. Zero selects the defaults
+	// (0.05 and 0.10).
+	Unfreeze         UnfreezeMode
+	HeadroomTrigger  float64
+	HeadroomStepFrac float64
 }
 
 // SelectionPolicy enumerates freeze-candidate orderings.
@@ -172,6 +191,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative Horizon %d", c.Horizon)
 	case c.EtWindow < 0:
 		return fmt.Errorf("core: negative EtWindow %d", c.EtWindow)
+	}
+	if err := c.validatePolicy(); err != nil {
+		return err
 	}
 	return c.Resilience.validate()
 }
@@ -253,13 +275,14 @@ func (s DomainStats) PMean() float64 {
 }
 
 type domainState struct {
-	d      Domain
-	index  int
-	kr     float64
-	et     EtEstimator
-	hourly *HourlyEt // non-nil when the controller trains Et online
-	frozen map[cluster.ServerID]bool
-	stats  DomainStats
+	d       Domain
+	index   int
+	kr      float64
+	et      EtEstimator
+	trainer TrainableEt // non-nil when the controller trains Et online
+	hourly  *HourlyEt   // ds.et when it is the paper's hourly estimator
+	frozen  map[cluster.ServerID]bool
+	stats   DomainStats
 
 	// Effective-budget state (budget.go). budget is the wattage the control
 	// law normalizes against this tick; budgetPrev stages the previous value
@@ -357,6 +380,12 @@ type Controller struct {
 	handle  *sim.Handle
 	selRNG  *rand.Rand // only used by SelectRandom
 	ins     *instrumentation
+	// Strategy axes resolved from cfg by Config.policies (strategy.go):
+	// freeze-candidate selection, the control-law solver, and the release
+	// path. Swapped atomically with cfg by Reconfigure.
+	sel    Selector
+	solver Solver
+	unf    UnfreezePolicy
 	// onBudget, when set, is called from the serial apply phase on every
 	// effective-budget movement (see OnBudgetChange in budget.go).
 	onBudget func(BudgetChange)
@@ -384,6 +413,11 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.withPolicyDefaults()
+	sel, solver, unf, err := cfg.policies()
+	if err != nil {
+		return nil, err
+	}
 	if reader == nil || api == nil {
 		return nil, fmt.Errorf("core: nil reader or freeze API")
 	}
@@ -391,7 +425,8 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 		return nil, fmt.Errorf("core: no domains to control")
 	}
 	ctl := &Controller{eng: eng, reader: reader, api: api, cfg: cfg,
-		res: cfg.Resilience.withDefaults(cfg.Interval)}
+		res: cfg.Resilience.withDefaults(cfg.Interval),
+		sel: sel, solver: solver, unf: unf}
 	ctl.timed, _ = reader.(TimedPowerReader)
 	if cfg.Selection == SelectRandom {
 		ctl.selRNG = sim.SubRNG(cfg.SelectionSeed, "controller-random-selection")
@@ -436,14 +471,16 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 			ds.kr = cfg.DefaultKr
 		}
 		if ds.et == nil {
-			h, err := NewWindowedHourlyEt(cfg.EtPercentile, cfg.EtDefault, cfg.EtMinSamples, cfg.EtWindow)
+			tr, err := cfg.newTrainableEt()
 			if err != nil {
 				return nil, err
 			}
-			ds.et = h
-			ds.hourly = h
-		} else if h, ok := ds.et.(*HourlyEt); ok {
-			// A pre-trained hourly estimator keeps learning online.
+			ds.et, ds.trainer = tr, tr
+		} else if tr, ok := ds.et.(TrainableEt); ok {
+			// A pre-trained trainable estimator keeps learning online.
+			ds.trainer = tr
+		}
+		if h, ok := ds.et.(*HourlyEt); ok {
 			ds.hourly = h
 		}
 		ctl.domains = append(ctl.domains, ds)
@@ -553,11 +590,12 @@ func (c *Controller) Step(now sim.Time) {
 	}
 }
 
-// planWorkers resolves cfg.Parallel for this Step. SelectRandom always plans
-// serially: its shuffle draws from one shared stream in domain order.
+// planWorkers resolves cfg.Parallel for this Step. A serial-only selector
+// (SelectRandom) always plans serially: its shuffle draws from one shared
+// stream in domain order.
 func (c *Controller) planWorkers() int {
 	w := c.cfg.Parallel
-	if w == 0 || w == 1 || c.cfg.Selection == SelectRandom {
+	if w == 0 || w == 1 || c.sel.SerialOnly() {
 		return 1
 	}
 	if w < 0 {
@@ -667,8 +705,8 @@ func (c *Controller) planControl(ds *domainState, now sim.Time, pStat, pCtl floa
 	if degraded {
 		ds.havePrev = false
 	} else {
-		if ds.hourly != nil && ds.havePrev {
-			ds.hourly.Add(ds.prevT, pStat-ds.prevP)
+		if ds.trainer != nil && ds.havePrev {
+			ds.trainer.Add(ds.prevT, pStat-ds.prevP)
 		}
 		ds.prevP, ds.prevT, ds.havePrev = pStat, now, true
 	}
@@ -681,25 +719,23 @@ func (c *Controller) planControl(ds *domainState, now sim.Time, pStat, pCtl floa
 	ds.lastP, ds.lastEt = pStat, et
 	n := len(ds.d.Servers)
 
-	// F(Pk/PM): the SPCP closed form (Eq. 13) at horizon 1 — zero exactly
-	// when P is below the rthreshold = 1 − Et line of Fig 6 — or the first
-	// control of the exact horizon-N PCP solution when configured, which is
-	// identical under the paper's side conditions (Lemma 3.1) and stronger
-	// when a predicted surge exceeds one interval's control authority.
-	var u float64
-	if c.cfg.Horizon > 1 {
-		if cap(ds.horizonEt) < c.cfg.Horizon {
-			ds.horizonEt = make([]float64, c.cfg.Horizon)
-		}
-		e := ds.horizonEt[:c.cfg.Horizon]
-		e[0] = et
-		for k := 1; k < c.cfg.Horizon; k++ {
-			e[k] = ds.et.Estimate(now.Add(sim.Duration(k) * c.cfg.Interval))
-		}
-		u = SolvePCPExact(p, e, 1.0, ds.kr, c.cfg.MaxFreezeRatio).U[0]
-	} else {
-		u = SolveSPCP(p, et, 1.0, ds.kr, c.cfg.MaxFreezeRatio)
+	// F(Pk/PM): the configured Solver strategy — the SPCP closed form
+	// (Eq. 13) at horizon 1, zero exactly when P is below the
+	// rthreshold = 1 − Et line of Fig 6, or the first control of the exact
+	// horizon-N PCP solution, which is identical under the paper's side
+	// conditions (Lemma 3.1) and stronger when a predicted surge exceeds
+	// one interval's control authority. The forecast slice is filled to the
+	// solver's depth from the Et estimator's per-interval estimates.
+	depth := c.solver.Depth()
+	if cap(ds.horizonEt) < depth {
+		ds.horizonEt = make([]float64, depth)
 	}
+	e := ds.horizonEt[:depth]
+	e[0] = et
+	for k := 1; k < depth; k++ {
+		e[k] = ds.et.Estimate(now.Add(sim.Duration(k) * c.cfg.Interval))
+	}
+	u := c.solver.Solve(p, e, ds.kr, c.cfg.MaxFreezeRatio)
 	if math.IsNaN(u) {
 		// A corrupt reading fed straight through (resilience disabled)
 		// yields a NaN plan; int(NaN) is platform-defined and would slice
@@ -712,6 +748,12 @@ func (c *Controller) planControl(ds *domainState, now sim.Time, pStat, pCtl floa
 		// Never release capacity on a forecast: the frozen set can only
 		// grow until a fresh sample proves the demand receded.
 		nfreeze = len(ds.frozen)
+	}
+	if nfreeze < len(ds.frozen) {
+		// The release path is policy-shaped: the UnfreezePolicy may hold
+		// capacity frozen or slow the drain, but never cuts below the
+		// solver's target (strategy.go). UnfreezeAll is the identity.
+		nfreeze = c.unf.target(p, et, len(ds.frozen), n, nfreeze)
 	}
 	ds.lastTarget = nfreeze
 	if nfreeze == 0 {
@@ -729,13 +771,10 @@ type serverPower struct {
 	power float64
 }
 
-// stageReconcile refreshes the domain's ranking scratch and stages the
-// unfreeze/release/freeze candidate lists the apply phase will execute. The
-// staged order reproduces the old fully-sorted walk exactly: candidates are
-// collected from the partially partitioned scratch (order-independent set
-// membership) and then sorted in the preference order the old code iterated
-// in, so the API call sequence — and with it every failure interleaving —
-// is unchanged.
+// stageReconcile refreshes the domain's ranking scratch, resets the staging
+// lists, and hands candidate selection to the configured Selector strategy
+// (strategy.go), which fills the unfreeze/release/freeze lists the apply
+// phase will execute.
 func (c *Controller) stageReconcile(ds *domainState, nfreeze int, degraded bool) {
 	rank := ds.rank[:0]
 	for _, id := range ds.d.Servers {
@@ -751,100 +790,7 @@ func (c *Controller) stageReconcile(ds *domainState, nfreeze int, degraded bool)
 	ds.unfCands = ds.unfCands[:0]
 	ds.relCands = ds.relCands[:0]
 	ds.frzCands = ds.frzCands[:0]
-
-	cmp, cmpRel := cmpHot, cmpHotRev
-	switch c.cfg.Selection {
-	case SelectColdest:
-		cmp, cmpRel = cmpCold, cmpColdRev
-	case SelectRandom:
-		// Serial-only policy (planWorkers pins workers to 1): the shuffle
-		// consumes the shared selection stream in domain order. The shuffled
-		// slice order plays the role of the sorted ranking below.
-		c.selRNG.Shuffle(len(rank), func(i, j int) {
-			rank[i], rank[j] = rank[j], rank[i]
-		})
-		c.stageShuffled(ds, nfreeze, degraded)
-		return
-	}
-
-	// Candidate set S: the nfreeze preferred servers, plus — for stability
-	// under the hottest-first policy — every other server still hotter
-	// than rstable × the coldest member of the top set. A frozen server
-	// inside S is not cycled out merely because fresh jobs elsewhere
-	// overtook it. The ablation policies skip the stability augmentation:
-	// its threshold is meaningful only for a power-ordered preference.
-	// Instead of sorting the whole domain and building a membership map,
-	// quickselect partitions the scratch around the boundary element b (the
-	// old ranked[nfreeze-1]) and S membership becomes two comparisons.
-	b := selectTopK(rank, nfreeze, cmp)
-	stability := c.cfg.Selection == SelectHottest
-	pThreshold := c.cfg.RStable * b.power
-	inS := func(sp serverPower) bool {
-		if cmp(sp, b) <= 0 {
-			return true // within the top-nfreeze set
-		}
-		return stability && sp.power > pThreshold
-	}
-
-	// Unfreeze members that fell out of S (their power dropped enough).
-	// Skipped in degraded mode: the ranking is stale, and swapping frozen
-	// servers on stale data is churn without information.
-	if !degraded {
-		for _, sp := range rank {
-			if ds.frozen[sp.id] && !inS(sp) {
-				ds.unfCands = append(ds.unfCands, sp)
-			}
-		}
-		slices.SortFunc(ds.unfCands, cmp)
-	}
-	if len(ds.frozen) > nfreeze {
-		// The release branch may run (API failures in the unfreeze pass can
-		// leave any count between frozen−|unfCands| and frozen): stage every
-		// currently frozen server in release order; apply re-checks live.
-		for _, sp := range rank {
-			if ds.frozen[sp.id] {
-				ds.relCands = append(ds.relCands, sp)
-			}
-		}
-		slices.SortFunc(ds.relCands, cmpRel)
-	}
-	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
-		// The freeze branch may run: stage S ∖ frozen hottest-first.
-		for _, sp := range rank {
-			if !ds.frozen[sp.id] && inS(sp) {
-				ds.frzCands = append(ds.frzCands, sp)
-			}
-		}
-		slices.SortFunc(ds.frzCands, cmp)
-	}
-}
-
-// stageShuffled stages the SelectRandom candidate lists, where "preference
-// order" is the shuffled position: S is the first nfreeze entries of the
-// shuffled scratch and there is no stability augmentation.
-func (c *Controller) stageShuffled(ds *domainState, nfreeze int, degraded bool) {
-	rank := ds.rank
-	if !degraded {
-		for _, sp := range rank[nfreeze:] {
-			if ds.frozen[sp.id] {
-				ds.unfCands = append(ds.unfCands, sp)
-			}
-		}
-	}
-	if len(ds.frozen) > nfreeze {
-		for i := len(rank) - 1; i >= 0; i-- {
-			if ds.frozen[rank[i].id] {
-				ds.relCands = append(ds.relCands, rank[i])
-			}
-		}
-	}
-	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
-		for _, sp := range rank[:nfreeze] {
-			if !ds.frozen[sp.id] {
-				ds.frzCands = append(ds.frzCands, sp)
-			}
-		}
-	}
+	c.sel.stage(c, ds, nfreeze, degraded)
 }
 
 // applyDomain executes the staged plan: scheduler API calls, frozen-set

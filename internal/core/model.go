@@ -170,6 +170,13 @@ func (h *HourlyEt) SetPercentile(pct float64) error {
 	return nil
 }
 
+// Percentile returns the percentile the estimator currently reads at.
+func (h *HourlyEt) Percentile() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pct
+}
+
 // HourlyEtState is a deep copy of an HourlyEt's full learned state, exported
 // for snapshotting (internal/whatif). Bins preserve both maintained orders —
 // Sorted for percentile reads and Ring/Head for windowed eviction — so a

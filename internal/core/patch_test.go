@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// newPatchController builds a multi-domain controller with online HourlyEt
+// estimators (Et nil), so Reconfigure's per-domain estimator commits have
+// several targets — the shape the partial-commit bug needed.
+func newPatchController(t *testing.T) *Controller {
+	t.Helper()
+	cfg := DefaultConfig()
+	domains := []Domain{
+		{Name: "a", Servers: ids(10), BudgetW: 1000, Kr: 0.10},
+		{Name: "b", Servers: ids(20)[10:], BudgetW: 1000, Kr: 0.10},
+		{Name: "c", Servers: ids(30)[20:], BudgetW: 1000, Kr: 0.10},
+	}
+	ctl, err := New(sim.NewEngine(), uniformReader(30, 95), newFakeAPI(), cfg, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+// TestReconfigureRejectedPatchIsNoOp is the regression test for the
+// partial-commit bug: a patch that fails validation on any field — including
+// RampFrac, which used to be checked after the estimator loop — must leave
+// every domain's estimator, the configuration, and the strategy wiring
+// exactly as they were.
+func TestReconfigureRejectedPatchIsNoOp(t *testing.T) {
+	badPatches := []PolicyPatch{
+		// Valid percentile retarget combined with an invalid RampFrac: the
+		// old code mutated every domain's percentile before rejecting.
+		{EtPercentile: fp(90), RampFrac: fp(1.5)},
+		{EtPercentile: fp(90), RStable: fp(2)},
+		{EtPercentile: fp(-1)},
+		{Selection: sp(SelectionPolicy(99))},
+		{EtMode: ep(EtMode(99)), EtPercentile: fp(90)},
+		{EtMode: ep(EtEWMA), EtAlpha: fp(7)},
+		{Unfreeze: up(UnfreezeMode(99))},
+		{HeadroomTrigger: fp(1.5)},
+		{HeadroomStepFrac: fp(-0.1)},
+		{Horizon: ip(-2)},
+	}
+	for _, p := range badPatches {
+		ctl := newPatchController(t)
+		before := ctl.cfg
+		selBefore, solverBefore, unfBefore := ctl.sel, ctl.solver, ctl.unf
+		if err := ctl.Reconfigure(p); err == nil {
+			t.Fatalf("patch %+v accepted", p)
+		}
+		if ctl.cfg != before {
+			t.Errorf("patch %+v: cfg mutated after rejection: %+v", p, ctl.cfg)
+		}
+		if ctl.sel != selBefore || ctl.solver != solverBefore || ctl.unf != unfBefore {
+			t.Errorf("patch %+v: strategy wiring mutated after rejection", p)
+		}
+		for i, ds := range ctl.domains {
+			if ds.hourly == nil {
+				t.Fatalf("domain %d lost its online estimator", i)
+			}
+			if got := ds.hourly.Percentile(); got != before.EtPercentile {
+				t.Errorf("patch %+v: domain %d percentile %v after rejection, want %v",
+					p, i, got, before.EtPercentile)
+			}
+		}
+		if ctl.haveRampOverride {
+			t.Errorf("patch %+v: ramp override set after rejection", p)
+		}
+	}
+}
+
+// TestReconfigureValidPatchAppliesFully pins the other half: an accepted
+// patch lands on every domain and every config field at once.
+func TestReconfigureValidPatchAppliesFully(t *testing.T) {
+	ctl := newPatchController(t)
+	p := PolicyPatch{
+		Selection:    sp(SelectColdest),
+		EtPercentile: fp(90),
+		RampFrac:     fp(0.02),
+		Horizon:      ip(5),
+	}
+	if err := ctl.Reconfigure(p); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.cfg.Selection != SelectColdest || ctl.cfg.EtPercentile != 90 || ctl.cfg.Horizon != 5 {
+		t.Errorf("cfg not fully applied: %+v", ctl.cfg)
+	}
+	if ctl.sel.Name() != "coldest" {
+		t.Errorf("selector %q, want coldest", ctl.sel.Name())
+	}
+	if ctl.solver.Name() != "pcp-5" || ctl.solver.Depth() != 5 {
+		t.Errorf("solver %q depth %d, want pcp-5/5", ctl.solver.Name(), ctl.solver.Depth())
+	}
+	if !ctl.haveRampOverride || ctl.rampOverride != 0.02 {
+		t.Errorf("ramp override %v/%v", ctl.haveRampOverride, ctl.rampOverride)
+	}
+	for i, ds := range ctl.domains {
+		if got := ds.hourly.Percentile(); got != 90 {
+			t.Errorf("domain %d percentile %v, want 90", i, got)
+		}
+	}
+}
+
+// TestReconfigureEtModeSwapsEveryDomain: an et= patch rebuilds a cold
+// estimator of the new family for every domain, replacing even externally
+// supplied ones, and keeps training continuity (havePrev survives).
+func TestReconfigureEtModeSwapsEveryDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	domains := []Domain{
+		{Name: "a", Servers: ids(10), BudgetW: 1000, Kr: 0.10, Et: ConstantEt(0.05)},
+		{Name: "b", Servers: ids(20)[10:], BudgetW: 1000, Kr: 0.10},
+	}
+	ctl, err := New(sim.NewEngine(), uniformReader(20, 95), newFakeAPI(), cfg, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Step(0) // establish havePrev on fresh domains
+	if err := ctl.Reconfigure(PolicyPatch{EtMode: ep(EtEWMA)}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range ctl.domains {
+		if _, ok := ds.et.(*EWMAEt); !ok {
+			t.Errorf("domain %d estimator %T, want *EWMAEt", i, ds.et)
+		}
+		if ds.trainer == nil {
+			t.Errorf("domain %d not training after EtMode swap", i)
+		}
+		if ds.hourly != nil {
+			t.Errorf("domain %d still reports an hourly estimator", i)
+		}
+		if !ds.havePrev {
+			t.Errorf("domain %d lost training continuity", i)
+		}
+	}
+	if err := ctl.Reconfigure(PolicyPatch{EtMode: ep(EtStatic), EtPercentile: fp(95)}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range ctl.domains {
+		if ds.hourly == nil {
+			t.Fatalf("domain %d: static swap did not restore an hourly estimator", i)
+		}
+		if got := ds.hourly.Percentile(); got != 95 {
+			t.Errorf("domain %d percentile %v, want the patched 95", i, got)
+		}
+	}
+}
+
+func TestPolicyPatchStringOrderAndEmpty(t *testing.T) {
+	if !(PolicyPatch{}).Empty() || (PolicyPatch{}).String() != "" {
+		t.Error("zero patch not empty")
+	}
+	p := PolicyPatch{
+		Selection: sp(SelectRandom), EtMode: ep(EtSeasonal), EtPercentile: fp(95),
+		EtAlpha: fp(0.5), EtBand: fp(2), RampFrac: fp(0.01), Horizon: ip(3),
+		MaxFreezeRatio: fp(0.4), RStable: fp(0.7), Unfreeze: up(UnfreezeHeadroom),
+		HeadroomTrigger: fp(0.1), HeadroomStepFrac: fp(0.2),
+	}
+	if p.Empty() {
+		t.Error("full patch reported empty")
+	}
+	want := "policy=random et=seasonal et-percentile=95 et-alpha=0.5 et-band=2 " +
+		"ramp=0.01 horizon=3 max-freeze=0.4 rstable=0.7 unfreeze=headroom " +
+		"headroom-trigger=0.1 headroom-step=0.2"
+	if got := p.String(); got != strings.TrimSpace(want) {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func fp(v float64) *float64                 { return &v }
+func ip(v int) *int                         { return &v }
+func sp(v SelectionPolicy) *SelectionPolicy { return &v }
+func ep(v EtMode) *EtMode                   { return &v }
+func up(v UnfreezeMode) *UnfreezeMode       { return &v }

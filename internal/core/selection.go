@@ -5,8 +5,13 @@ package core
 // fully sort.Slice'd it on every freezing tick — O(n log n) with an
 // interface-dispatched comparator, ~2 MB/tick of garbage at 100k servers.
 // The plan phase now refills a per-domain scratch slice, partially partitions
-// it with quickselect (O(n) expected), and only sorts the few candidates
-// actually staged for an API call.
+// it with quickselect (O(n) expected, introselect depth guard for the worst
+// case), and only sorts the few candidates actually staged for an API call.
+
+import (
+	"math/bits"
+	"slices"
+)
 
 // cmpHot orders hottest-first, ties by ascending ID — the paper's freeze
 // preference. The comparators are a strict total order (IDs are unique
@@ -57,9 +62,29 @@ func cmpColdRev(a, b serverPower) int { return cmpCold(b, a) }
 // that a full sort would place at index k-1. Expected O(len(sp)) via
 // quickselect with median-of-three pivots; cmp must be a strict total order.
 // Requires 1 ≤ k ≤ len(sp).
+//
+// Introselect guard: median-of-three Lomuto still degrades to O(n²) on
+// adversarial orderings (e.g. an organ-pipe permutation re-partitioned every
+// tick). After 2·⌈log₂ n⌉ partitions without converging, the remaining window
+// is handed to slices.SortFunc (O(n log n) worst case). The fallback is
+// result-identical, not just boundary-identical: everything outside [lo,hi]
+// is already correctly partitioned relative to the window, the target index
+// k−1 always stays inside it, and sorting the window places the exact same
+// element at k−1 as full partitioning would.
 func selectTopK(sp []serverPower, k int, cmp func(a, b serverPower) int) serverPower {
+	return selectTopKDepth(sp, k, cmp, 2*bits.Len(uint(len(sp))))
+}
+
+// selectTopKDepth is selectTopK with an explicit partition budget (tests
+// force it to 0 to exercise the sort fallback on its own).
+func selectTopKDepth(sp []serverPower, k int, cmp func(a, b serverPower) int, depth int) serverPower {
 	lo, hi := 0, len(sp)-1
 	for lo < hi {
+		if depth == 0 {
+			slices.SortFunc(sp[lo:hi+1], cmp)
+			break
+		}
+		depth--
 		p := partitionPref(sp, lo, hi, cmp)
 		switch {
 		case p == k-1:

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// adversarialInputs are orderings that historically drive median-of-three
+// Lomuto quickselect quadratic: the organ-pipe permutation in particular
+// defeats the median-of-three pivot choice round after round.
+func adversarialInputs(n int) map[string][]serverPower {
+	mk := func(f func(i int) float64) []serverPower {
+		sp := make([]serverPower, n)
+		for i := range sp {
+			sp[i] = serverPower{id: cluster.ServerID(i), power: f(i)}
+		}
+		return sp
+	}
+	return map[string][]serverPower{
+		"sorted":    mk(func(i int) float64 { return float64(i) }),
+		"reversed":  mk(func(i int) float64 { return float64(n - i) }),
+		"organpipe": mk(func(i int) float64 { return float64(min(i, n-i)) }),
+		"allequal":  mk(func(int) float64 { return 42 }),
+		"sawtooth":  mk(func(i int) float64 { return float64(i % 16) }),
+	}
+}
+
+// TestSelectTopKFallbackMatchesFullSort forces the introselect fallback
+// (depth 0) and checks it returns exactly the element a full sort places at
+// k−1, with sp[:k] holding the top-k set, on random and structured inputs.
+func TestSelectTopKFallbackMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	check := func(name string, sp []serverPower, k int, depth int) {
+		want := append([]serverPower(nil), sp...)
+		slices.SortFunc(want, cmpHot)
+		got := selectTopKDepth(sp, k, cmpHot, depth)
+		if got != want[k-1] {
+			t.Fatalf("%s k=%d depth=%d: boundary %+v, full sort says %+v", name, k, depth, got, want[k-1])
+		}
+		top := append([]serverPower(nil), sp[:k]...)
+		slices.SortFunc(top, cmpHot)
+		if !slices.Equal(top, want[:k]) {
+			t.Fatalf("%s k=%d depth=%d: sp[:k] is not the top-k set", name, k, depth)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(64)
+		sp := make([]serverPower, n)
+		for j := range sp {
+			sp[j] = serverPower{id: cluster.ServerID(j), power: float64(rng.Intn(8))}
+		}
+		rng.Shuffle(n, func(a, b int) { sp[a], sp[b] = sp[b], sp[a] })
+		k := 1 + rng.Intn(n)
+		for _, depth := range []int{0, 1, 2} {
+			check("random", append([]serverPower(nil), sp...), k, depth)
+		}
+	}
+	for name, sp := range adversarialInputs(257) {
+		for _, k := range []int{1, 64, 128, 257} {
+			check(name, append([]serverPower(nil), sp...), k, 0)
+			check(name, append([]serverPower(nil), sp...), k, 3)
+		}
+	}
+}
+
+// countingCmp wraps a comparator and counts invocations.
+func countingCmp(n *int, cmp func(a, b serverPower) int) func(a, b serverPower) int {
+	return func(a, b serverPower) int { *n++; return cmp(a, b) }
+}
+
+// TestSelectTopKWorstCaseBound is the worst-case guard: on every adversarial
+// ordering the introselect version stays within a c·n·log n comparison
+// budget, far under the ~n²/4 a degenerate quickselect burns. An organ-pipe
+// input at n=32768 used to cost ~2.7e8 comparisons; the bound below (100·n)
+// only holds because the depth limit kicks in.
+func TestSelectTopKWorstCaseBound(t *testing.T) {
+	const n = 1 << 15
+	budget := 100 * n // ≫ 2n expected, ≪ n²/4 degenerate
+	for name, sp := range adversarialInputs(n) {
+		comparisons := 0
+		selectTopK(sp, n/3, countingCmp(&comparisons, cmpHot))
+		if comparisons > budget {
+			t.Errorf("%s: %d comparisons for n=%d, budget %d — introselect guard not engaging",
+				name, comparisons, n, budget)
+		}
+	}
+}
+
+// BenchmarkSelectTopKAdversarial pins the worst case at benchmark
+// granularity: organ-pipe input, re-ranked each iteration (the rank scratch
+// is refilled every controller tick, so each tick re-partitions from the
+// same adversarial arrangement).
+func BenchmarkSelectTopKAdversarial(b *testing.B) {
+	const n = 1 << 15
+	src := adversarialInputs(n)["organpipe"]
+	scratch := make([]serverPower, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, src)
+		selectTopK(scratch, n/3, cmpHot)
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+// This file is the pluggable-policy layer. The paper fixes one policy on each
+// of the control law's three axes — hottest-first freeze-candidate selection,
+// the static hourly-percentile Et estimator, and the closed-form SPCP solver —
+// and this layer makes each axis a small strategy interface resolved from the
+// existing Config knobs, so alternatives can be compared without forking the
+// controller (the -exp tournament experiment does exactly that through
+// PolicyPatch). A fourth axis, the release path, shapes how fast the frozen
+// set drains once the solver's target drops.
+//
+// Strategies are sealed: the Selector and UnfreezePolicy interfaces carry an
+// unexported method, so every implementation lives in this package where the
+// DESIGN.md §7 byte-identity contract is enforced. A strategy invoked from
+// the plan phase may read and mutate only its own domain's state plus
+// concurrency-safe shared readers; anything with cross-domain shared state
+// (the random selector's one shuffle stream) must report SerialOnly and is
+// pinned to the serial plan path. See DESIGN.md §10 for the full contract.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Selector is the freeze-candidate selection strategy: given a domain's
+// refreshed power ranking and the tick's freeze target, it stages the
+// unfreeze/release/freeze candidate lists the serial apply phase executes.
+type Selector interface {
+	// Name is the canonical policy name used in specs and patches.
+	Name() string
+	// SerialOnly reports whether the plan phase must run serially because
+	// stage consumes shared mutable state in domain order.
+	SerialOnly() bool
+	// stage fills ds.unfCands/relCands/frzCands from the ds.rank scratch.
+	// It runs in the plan phase: only ds and concurrency-safe shared state
+	// may be touched (SerialOnly strategies run under the serial plan path
+	// and may additionally consume controller-owned serial state).
+	stage(c *Controller, ds *domainState, nfreeze int, degraded bool)
+}
+
+// rankedSelector is a comparator-ordered selection policy (the paper's
+// hottest-first and the coldest-first ablation). stability enables the §3.5
+// augmentation, which is only meaningful for a power-descending preference.
+type rankedSelector struct {
+	name      string
+	cmp       func(a, b serverPower) int // freeze-preference order
+	cmpRel    func(a, b serverPower) int // release (reverse) order
+	stability bool
+}
+
+func (s *rankedSelector) Name() string     { return s.name }
+func (s *rankedSelector) SerialOnly() bool { return false }
+
+// stage reproduces the fully-sorted walk of the original algorithm without
+// sorting the whole domain: quickselect partitions the scratch around the
+// boundary element b (the old ranked[nfreeze-1]) and S membership becomes two
+// comparisons. Candidates are collected from the partially partitioned
+// scratch (order-independent set membership) and then sorted in the
+// preference order the old code iterated in, so the API call sequence — and
+// with it every failure interleaving — is unchanged.
+func (s *rankedSelector) stage(c *Controller, ds *domainState, nfreeze int, degraded bool) {
+	rank := ds.rank
+	// Candidate set S: the nfreeze preferred servers, plus — for stability
+	// under the hottest-first policy — every other server still hotter
+	// than rstable × the coldest member of the top set. A frozen server
+	// inside S is not cycled out merely because fresh jobs elsewhere
+	// overtook it.
+	b := selectTopK(rank, nfreeze, s.cmp)
+	pThreshold := c.cfg.RStable * b.power
+	inS := func(sp serverPower) bool {
+		if s.cmp(sp, b) <= 0 {
+			return true // within the top-nfreeze set
+		}
+		return s.stability && sp.power > pThreshold
+	}
+
+	// Unfreeze members that fell out of S (their power dropped enough).
+	// Skipped in degraded mode: the ranking is stale, and swapping frozen
+	// servers on stale data is churn without information.
+	if !degraded {
+		for _, sp := range rank {
+			if ds.frozen[sp.id] && !inS(sp) {
+				ds.unfCands = append(ds.unfCands, sp)
+			}
+		}
+		slices.SortFunc(ds.unfCands, s.cmp)
+	}
+	if len(ds.frozen) > nfreeze {
+		// The release branch may run (API failures in the unfreeze pass can
+		// leave any count between frozen−|unfCands| and frozen): stage every
+		// currently frozen server in release order; apply re-checks live.
+		for _, sp := range rank {
+			if ds.frozen[sp.id] {
+				ds.relCands = append(ds.relCands, sp)
+			}
+		}
+		slices.SortFunc(ds.relCands, s.cmpRel)
+	}
+	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
+		// The freeze branch may run: stage S ∖ frozen in preference order.
+		for _, sp := range rank {
+			if !ds.frozen[sp.id] && inS(sp) {
+				ds.frzCands = append(ds.frzCands, sp)
+			}
+		}
+		slices.SortFunc(ds.frzCands, s.cmp)
+	}
+}
+
+// randomSelector freezes uniformly random servers (the ablation quantifying
+// the paper's hottest-first choice). Serial-only: the shuffle consumes the
+// controller's one selection stream in domain order.
+type randomSelector struct{}
+
+func (randomSelector) Name() string     { return "random" }
+func (randomSelector) SerialOnly() bool { return true }
+
+// stage shuffles the rank scratch and stages candidates by shuffled position:
+// S is the first nfreeze entries and there is no stability augmentation.
+func (randomSelector) stage(c *Controller, ds *domainState, nfreeze int, degraded bool) {
+	rank := ds.rank
+	c.selRNG.Shuffle(len(rank), func(i, j int) {
+		rank[i], rank[j] = rank[j], rank[i]
+	})
+	if !degraded {
+		for _, sp := range rank[nfreeze:] {
+			if ds.frozen[sp.id] {
+				ds.unfCands = append(ds.unfCands, sp)
+			}
+		}
+	}
+	if len(ds.frozen) > nfreeze {
+		for i := len(rank) - 1; i >= 0; i-- {
+			if ds.frozen[rank[i].id] {
+				ds.relCands = append(ds.relCands, rank[i])
+			}
+		}
+	}
+	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
+		for _, sp := range rank[:nfreeze] {
+			if !ds.frozen[sp.id] {
+				ds.frzCands = append(ds.frzCands, sp)
+			}
+		}
+	}
+}
+
+var (
+	selHottest = &rankedSelector{name: "hottest", cmp: cmpHot, cmpRel: cmpHotRev, stability: true}
+	selColdest = &rankedSelector{name: "coldest", cmp: cmpCold, cmpRel: cmpColdRev, stability: false}
+	selRandom  = randomSelector{}
+)
+
+// selectorFor resolves the Config knob to its strategy.
+func selectorFor(p SelectionPolicy) (Selector, error) {
+	switch p {
+	case SelectHottest:
+		return selHottest, nil
+	case SelectColdest:
+		return selColdest, nil
+	case SelectRandom:
+		return selRandom, nil
+	default:
+		return nil, fmt.Errorf("core: unknown selection policy %d", int(p))
+	}
+}
+
+// ParseSelectionPolicy parses a canonical policy name (the inverse of
+// SelectionPolicy.String for the valid values).
+func ParseSelectionPolicy(s string) (SelectionPolicy, error) {
+	switch s {
+	case "hottest":
+		return SelectHottest, nil
+	case "coldest":
+		return SelectColdest, nil
+	case "random":
+		return SelectRandom, nil
+	default:
+		return 0, fmt.Errorf("core: unknown selection policy %q (hottest|coldest|random)", s)
+	}
+}
+
+// Solver computes the freezing ratio from the control inputs — the axis that
+// was the hardcoded Horizon branch in planControl. Implementations must be
+// stateless: Solve runs on plan-pool workers.
+type Solver interface {
+	// Name identifies the solver in reports.
+	Name() string
+	// Depth is the forecast depth consumed (≥ 1); the controller fills
+	// et[:Depth()] with per-interval Et forecasts before calling Solve.
+	Depth() int
+	// Solve returns u ∈ [0, maxU] given the normalized power p and the
+	// forecast slice et (length Depth()).
+	Solve(p float64, et []float64, kr, maxU float64) float64
+}
+
+// spcpSolver is the paper's simplified problem: the closed-form SPCP (Eq. 13)
+// at horizon 1, zero exactly when P is below the 1 − Et threshold of Fig 6.
+type spcpSolver struct{}
+
+func (spcpSolver) Name() string { return "spcp" }
+func (spcpSolver) Depth() int   { return 1 }
+func (spcpSolver) Solve(p float64, et []float64, kr, maxU float64) float64 {
+	return SolveSPCP(p, et[0], 1.0, kr, maxU)
+}
+
+// pcpSolver is the exact horizon-N PCP (Eqs. 3–6): the first control of the
+// N-interval solution, identical to SPCP under the paper's side conditions
+// (Lemma 3.1) and stronger when a predicted surge exceeds one interval's
+// control authority.
+type pcpSolver struct{ n int }
+
+func (s pcpSolver) Name() string { return fmt.Sprintf("pcp-%d", s.n) }
+func (s pcpSolver) Depth() int   { return s.n }
+func (s pcpSolver) Solve(p float64, et []float64, kr, maxU float64) float64 {
+	return SolvePCPExact(p, et, 1.0, kr, maxU).U[0]
+}
+
+// solverFor resolves the Horizon knob: 1 (or 0) keeps the closed form.
+func solverFor(horizon int) Solver {
+	if horizon > 1 {
+		return pcpSolver{n: horizon}
+	}
+	return spcpSolver{}
+}
+
+// UnfreezeMode enumerates release-path policies.
+type UnfreezeMode int
+
+const (
+	// UnfreezeAll is the paper's behavior: the moment the solver's target
+	// drops, release straight down to it (everything, when the target is 0).
+	UnfreezeAll UnfreezeMode = iota
+	// UnfreezeHeadroom gates releases on spare power headroom — the gap
+	// between the observed power and the 1 − Et freeze threshold — and
+	// drains the frozen set gradually, a watts translation of the
+	// inferno-autoscaler spare-capacity trigger. It avoids the aggregate
+	// thrash of releasing a block of capacity right at the threshold that
+	// immediately pushes power back over it.
+	UnfreezeHeadroom
+)
+
+// String returns the canonical mode name.
+func (m UnfreezeMode) String() string {
+	switch m {
+	case UnfreezeAll:
+		return "all"
+	case UnfreezeHeadroom:
+		return "headroom"
+	default:
+		return fmt.Sprintf("UnfreezeMode(%d)", int(m))
+	}
+}
+
+// ParseUnfreezeMode is the inverse of UnfreezeMode.String for valid values.
+func ParseUnfreezeMode(s string) (UnfreezeMode, error) {
+	switch s {
+	case "all":
+		return UnfreezeAll, nil
+	case "headroom":
+		return UnfreezeHeadroom, nil
+	default:
+		return 0, fmt.Errorf("core: unknown unfreeze mode %q (all|headroom)", s)
+	}
+}
+
+// UnfreezePolicy shapes the release path. It runs in the plan phase and must
+// be stateless.
+type UnfreezePolicy interface {
+	// Name is the canonical mode name.
+	Name() string
+	// target adjusts the solver's freeze target when it would release
+	// capacity (target < frozen). It may hold capacity frozen — raise the
+	// target toward frozen — or slow the drain, but never returns less than
+	// the solver's own target: that target is the minimum the control law
+	// says keeps P under budget. p is the control-law power, et the current
+	// estimate, frozen the live frozen count, n the domain size.
+	target(p, et float64, frozen, n, target int) int
+}
+
+// releaseAll passes the solver's target through unchanged.
+type releaseAll struct{}
+
+func (releaseAll) Name() string                              { return "all" }
+func (releaseAll) target(_, _ float64, _, _, target int) int { return target }
+
+// spareHeadroom releases only while spare headroom (1 − Et) − P exceeds
+// trigger, at most ⌈stepFrac·n⌉ servers per tick; with thin headroom it holds
+// the frozen set even when the solver says zero.
+type spareHeadroom struct{ trigger, stepFrac float64 }
+
+func (spareHeadroom) Name() string { return "headroom" }
+func (s spareHeadroom) target(p, et float64, frozen, n, target int) int {
+	headroom := (1 - et) - p
+	if !(headroom > s.trigger) {
+		// Too close to the threshold (or a NaN input, for which no
+		// comparison holds): hold everything frozen.
+		return frozen
+	}
+	step := int(s.stepFrac * float64(n))
+	if step < 1 {
+		step = 1
+	}
+	if frozen-target > step {
+		return frozen - step
+	}
+	return target
+}
+
+// unfreezerFor resolves the Unfreeze knob (tunables already resolved by
+// withPolicyDefaults).
+func unfreezerFor(c Config) (UnfreezePolicy, error) {
+	switch c.Unfreeze {
+	case UnfreezeAll:
+		return releaseAll{}, nil
+	case UnfreezeHeadroom:
+		return spareHeadroom{trigger: c.HeadroomTrigger, stepFrac: c.HeadroomStepFrac}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown unfreeze mode %d", int(c.Unfreeze))
+	}
+}
+
+// policies resolves every strategy axis from the Config knobs. It can only
+// fail on enum values Validate would also reject; callers validate first, so
+// a post-validation failure here means the two checks diverged.
+func (c Config) policies() (Selector, Solver, UnfreezePolicy, error) {
+	sel, err := selectorFor(c.Selection)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	unf, err := unfreezerFor(c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sel, solverFor(c.Horizon), unf, nil
+}
+
+// EtMode enumerates the online Et estimator families built for domains
+// without an externally supplied estimator (and swapped in wholesale by an
+// explicit PolicyPatch.EtMode, replacing even external estimators — the
+// counterfactual "what if Et had been forecast differently").
+type EtMode int
+
+const (
+	// EtStatic is the paper's §3.6 estimator: the configured percentile of
+	// per-hour-of-day observed increases (HourlyEt).
+	EtStatic EtMode = iota
+	// EtEWMA forecasts mean + band·deviation with exponentially weighted
+	// moving averages — fast-adapting, memoryless of time of day.
+	EtEWMA
+	// EtSeasonal is a seasonal-naive forecast per hour of day: prepare for
+	// the largest increase seen in the same hour yesterday.
+	EtSeasonal
+)
+
+// String returns the canonical mode name.
+func (m EtMode) String() string {
+	switch m {
+	case EtStatic:
+		return "static"
+	case EtEWMA:
+		return "ewma"
+	case EtSeasonal:
+		return "seasonal"
+	default:
+		return fmt.Sprintf("EtMode(%d)", int(m))
+	}
+}
+
+// ParseEtMode is the inverse of EtMode.String for valid values.
+func ParseEtMode(s string) (EtMode, error) {
+	switch s {
+	case "static":
+		return EtStatic, nil
+	case "ewma":
+		return EtEWMA, nil
+	case "seasonal":
+		return EtSeasonal, nil
+	default:
+		return 0, fmt.Errorf("core: unknown et mode %q (static|ewma|seasonal)", s)
+	}
+}
+
+// newTrainableEt builds one domain's online estimator for the configured
+// mode. Tunables must already be resolved (withPolicyDefaults).
+func (c Config) newTrainableEt() (TrainableEt, error) {
+	switch c.EtMode {
+	case EtStatic:
+		return NewWindowedHourlyEt(c.EtPercentile, c.EtDefault, c.EtMinSamples, c.EtWindow)
+	case EtEWMA:
+		return NewEWMAEt(c.EtAlpha, c.EtBand, c.EtDefault, c.EtMinSamples)
+	case EtSeasonal:
+		return NewSeasonalNaiveEt(c.EtDefault)
+	default:
+		return nil, fmt.Errorf("core: unknown et mode %d", int(c.EtMode))
+	}
+}
+
+// withPolicyDefaults resolves zero-valued policy tunables to the deployment
+// defaults, so hand-built Configs keep working as strategy knobs are added
+// (zero selects the default, like ResilienceConfig's fields; an explicit
+// zero is not distinguishable and also selects the default).
+func (c Config) withPolicyDefaults() Config {
+	if c.EtAlpha == 0 {
+		c.EtAlpha = 0.25
+	}
+	if c.EtBand == 0 {
+		c.EtBand = 3
+	}
+	if c.HeadroomTrigger == 0 {
+		c.HeadroomTrigger = 0.05
+	}
+	if c.HeadroomStepFrac == 0 {
+		c.HeadroomStepFrac = 0.10
+	}
+	return c
+}
+
+// validatePolicy checks the strategy-axis knobs; called from Config.Validate.
+// Zero values pass (withPolicyDefaults resolves them before use).
+func (c Config) validatePolicy() error {
+	switch {
+	case c.EtMode < EtStatic || c.EtMode > EtSeasonal:
+		return fmt.Errorf("core: unknown EtMode %d", int(c.EtMode))
+	case c.Unfreeze < UnfreezeAll || c.Unfreeze > UnfreezeHeadroom:
+		return fmt.Errorf("core: unknown Unfreeze mode %d", int(c.Unfreeze))
+	case math.IsNaN(c.EtAlpha) || c.EtAlpha < 0 || c.EtAlpha > 1:
+		return fmt.Errorf("core: EtAlpha %v outside (0,1] (0 = default)", c.EtAlpha)
+	case math.IsNaN(c.EtBand) || math.IsInf(c.EtBand, 0) || c.EtBand < 0:
+		return fmt.Errorf("core: EtBand %v must be a finite non-negative number", c.EtBand)
+	case math.IsNaN(c.HeadroomTrigger) || c.HeadroomTrigger < 0 || c.HeadroomTrigger >= 1:
+		return fmt.Errorf("core: HeadroomTrigger %v outside [0,1)", c.HeadroomTrigger)
+	case math.IsNaN(c.HeadroomStepFrac) || c.HeadroomStepFrac < 0 || c.HeadroomStepFrac > 1:
+		return fmt.Errorf("core: HeadroomStepFrac %v outside [0,1]", c.HeadroomStepFrac)
+	}
+	if _, err := selectorFor(c.Selection); err != nil {
+		return err
+	}
+	return nil
+}

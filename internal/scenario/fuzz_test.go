@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -96,6 +97,59 @@ func FuzzBudgetSchedule(f *testing.F) {
 					}
 				}
 			}
+		}
+	})
+}
+
+// FuzzPolicySpec drives the control_policy surface: arbitrary JSON is
+// decoded as a spec, and whenever the spec validates, its policy block must
+// apply cleanly onto core.DefaultConfig into a configuration that core's own
+// Validate accepts — the controller-construction path Build takes. A
+// validated spec whose policy the controller then rejects is a drift bug
+// between the scenario and core validation layers.
+func FuzzPolicySpec(f *testing.F) {
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{"selection":"coldest","et":"ewma","et_alpha":0.5,"et_band":2}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{"selection":"random","selection_seed":7,"unfreeze":"headroom",
+		"headroom_trigger":0.05,"headroom_step":0.1}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{"et":"seasonal","horizon":5,"max_freeze":0.4,"rstable":0.7}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{"et_percentile":95}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,
+		"control_policy":{"selection":"hottest"}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{"selection":"warmest"}}`)
+	f.Add(`{"rows":2,"row_servers":40,"hours":1,"target_frac":0.5,"ampere":true,
+		"control_policy":{"et_alpha":1e308,"horizon":-1}}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Load(strings.NewReader(in))
+		if err != nil || s.Validate() != nil {
+			return
+		}
+		cfg := core.DefaultConfig()
+		if err := s.ControlPolicy.apply(&cfg); err != nil {
+			t.Fatalf("validated control_policy failed to apply: %v\n%s", err, in)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("validated control_policy yields a config core rejects: %v\n%s", err, in)
+		}
+		// The accepted spec (policy block included) must survive a marshal
+		// round-trip to an equally valid spec.
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("cannot re-marshal accepted spec: %v", err)
+		}
+		s2, err := Load(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("re-parse of accepted spec failed: %v\n%s", err, blob)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("round-tripped spec no longer validates: %v\n%s", err, blob)
 		}
 	})
 }

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestControlPolicyBlockBuilds(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+		"seed": 5, "rows": 2, "row_servers": 40, "hours": 1, "warmup_hours": 1,
+		"target_frac": 0.6, "ro": 0.25, "ampere": true,
+		"control_policy": {"selection": "coldest", "et": "ewma", "et_alpha": 0.5,
+			"unfreeze": "headroom", "horizon": 3}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Controller == nil {
+		t.Fatal("no controller built")
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Controller.Stats(0)
+	if st.Ticks == 0 {
+		t.Error("controller never ticked")
+	}
+}
+
+func TestControlPolicyValidation(t *testing.T) {
+	base := `{"rows": 2, "row_servers": 40, "hours": 1, "target_frac": 0.5`
+	cases := []struct {
+		name, tail string
+	}{
+		{"requires-ampere", `, "control_policy": {"selection": "hottest"}}`},
+		{"bad-selection", `, "ampere": true, "control_policy": {"selection": "warmest"}}`},
+		{"bad-et", `, "ampere": true, "control_policy": {"et": "arima"}}`},
+		{"bad-unfreeze", `, "ampere": true, "control_policy": {"unfreeze": "never"}}`},
+		{"bad-alpha", `, "ampere": true, "control_policy": {"et_alpha": 2}}`},
+		{"bad-percentile", `, "ampere": true, "control_policy": {"et_percentile": 101}}`},
+		{"bad-horizon", `, "ampere": true, "control_policy": {"horizon": -1}}`},
+		{"bad-trigger", `, "ampere": true, "control_policy": {"headroom_trigger": 1.5}}`},
+		{"unknown-key", `, "ampere": true, "control_policy": {"frobnicate": 1}}`},
+	}
+	for _, c := range cases {
+		spec, err := Load(strings.NewReader(base + c.tail))
+		if err == nil {
+			err = spec.Validate()
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

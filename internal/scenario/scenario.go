@@ -60,6 +60,12 @@ type Spec struct {
 	// on the scheduled budget (requires Ampere).
 	DemandResponse []DemandResponse `json:"demand_response,omitempty"`
 
+	// ControlPolicy configures the Ampere controller's strategy axes —
+	// selection, Et estimator family, solver horizon, release path (see
+	// policy.go). Requires Ampere. The top-level "policy" key is the
+	// scheduler placement policy; this block is the power-control policy.
+	ControlPolicy *PolicySpec `json:"control_policy,omitempty"`
+
 	// Protections.
 	Ampere  bool    `json:"ampere"`
 	Capping bool    `json:"capping"`
@@ -121,6 +127,14 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := pickRowChooser(s.RowChooser); err != nil {
 		return err
+	}
+	if s.ControlPolicy != nil {
+		if !s.Ampere {
+			return fmt.Errorf("scenario: control_policy requires ampere")
+		}
+		if err := s.ControlPolicy.Validate(); err != nil {
+			return err
+		}
 	}
 	return s.validateBudget()
 }
@@ -271,7 +285,11 @@ func (s *Spec) Build() (*Built, error) {
 				Schedule: s.compileBudgetSchedule(r, budget, b.warmup),
 			}
 		}
-		b.Controller, err = core.New(rig.Eng, rig.Mon, rig.Sched, core.DefaultConfig(), domains)
+		ccfg := core.DefaultConfig()
+		if err := s.ControlPolicy.apply(&ccfg); err != nil {
+			return nil, err
+		}
+		b.Controller, err = core.New(rig.Eng, rig.Mon, rig.Sched, ccfg, domains)
 		if err != nil {
 			return nil, err
 		}

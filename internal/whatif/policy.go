@@ -13,15 +13,25 @@ import (
 // comma-separated key=value pairs.
 //
 //	policy=hottest|coldest|random   freeze-candidate selection
+//	et=static|ewma|seasonal         Et estimator family swap (cold restart,
+//	                                retrained from the fork point onward)
 //	et-percentile=95                HourlyEt percentile retarget
+//	et-alpha=0.25                   EWMA smoothing factor
+//	et-band=3                       EWMA deviation multiplier
 //	ramp=0.0067                     per-tick budget ramp limit (fraction of
 //	                                base budget; 0 = cliff)
 //	horizon=5                       solver choice: 1 = SPCP closed form,
 //	                                >1 = exact horizon-N PCP
 //	max-freeze=0.5                  operational freeze-ratio cap
 //	rstable=0.8                     §3.5 stability ratio
+//	unfreeze=all|headroom           release path: straight to target, or
+//	                                spare-headroom-gated gradual drain
+//	headroom-trigger=0.05           minimum spare headroom before releasing
+//	headroom-step=0.1               max fraction of a domain released per tick
 //
-// The empty string parses to the empty patch (self-replay).
+// The empty string parses to the empty patch (self-replay). ParsePatch is
+// the inverse of core.PolicyPatch.String: every patch survives the
+// String→Parse round-trip exactly (policy_test.go pins this per field).
 func ParsePatch(s string) (core.PolicyPatch, error) {
 	return parsePatch(s)
 }
@@ -37,58 +47,66 @@ func MustParsePatch(s string) core.PolicyPatch {
 
 func parsePatch(s string) (core.PolicyPatch, error) {
 	var p core.PolicyPatch
+	float := func(key, val string) (*float64, error) {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("whatif: bad %s %q: %v", key, val, err)
+		}
+		return &v, nil
+	}
 	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' })
 	for _, f := range fields {
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
 			return p, fmt.Errorf("whatif: bad patch term %q, want key=value", f)
 		}
+		var err error
 		switch key {
 		case "policy", "selection":
-			var sel core.SelectionPolicy
-			switch val {
-			case "hottest":
-				sel = core.SelectHottest
-			case "coldest":
-				sel = core.SelectColdest
-			case "random":
-				sel = core.SelectRandom
-			default:
-				return p, fmt.Errorf("whatif: unknown policy %q (hottest|coldest|random)", val)
+			sel, perr := core.ParseSelectionPolicy(val)
+			if perr != nil {
+				return p, fmt.Errorf("whatif: %w", perr)
 			}
 			p.Selection = &sel
+		case "et":
+			mode, perr := core.ParseEtMode(val)
+			if perr != nil {
+				return p, fmt.Errorf("whatif: %w", perr)
+			}
+			p.EtMode = &mode
 		case "et-percentile":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return p, fmt.Errorf("whatif: bad et-percentile %q: %v", val, err)
-			}
-			p.EtPercentile = &v
+			p.EtPercentile, err = float(key, val)
+		case "et-alpha":
+			p.EtAlpha, err = float(key, val)
+		case "et-band":
+			p.EtBand, err = float(key, val)
 		case "ramp":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return p, fmt.Errorf("whatif: bad ramp %q: %v", val, err)
-			}
-			p.RampFrac = &v
+			p.RampFrac, err = float(key, val)
 		case "horizon":
-			v, err := strconv.Atoi(val)
-			if err != nil {
-				return p, fmt.Errorf("whatif: bad horizon %q: %v", val, err)
+			v, aerr := strconv.Atoi(val)
+			if aerr != nil {
+				return p, fmt.Errorf("whatif: bad horizon %q: %v", val, aerr)
 			}
 			p.Horizon = &v
 		case "max-freeze":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return p, fmt.Errorf("whatif: bad max-freeze %q: %v", val, err)
-			}
-			p.MaxFreezeRatio = &v
+			p.MaxFreezeRatio, err = float(key, val)
 		case "rstable":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return p, fmt.Errorf("whatif: bad rstable %q: %v", val, err)
+			p.RStable, err = float(key, val)
+		case "unfreeze":
+			mode, perr := core.ParseUnfreezeMode(val)
+			if perr != nil {
+				return p, fmt.Errorf("whatif: %w", perr)
 			}
-			p.RStable = &v
+			p.Unfreeze = &mode
+		case "headroom-trigger":
+			p.HeadroomTrigger, err = float(key, val)
+		case "headroom-step":
+			p.HeadroomStepFrac, err = float(key, val)
 		default:
 			return p, fmt.Errorf("whatif: unknown patch key %q", key)
+		}
+		if err != nil {
+			return p, err
 		}
 	}
 	return p, nil

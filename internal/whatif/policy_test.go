@@ -1,0 +1,125 @@
+package whatif
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randomPatch builds a PolicyPatch with a random subset of fields set (bit i
+// of mask selects field i) and plausible random values. Values are drawn
+// from finite floats only: String() uses %g, which ParseFloat inverts
+// exactly for every finite float64.
+func randomPatch(rng *rand.Rand, mask int) core.PolicyPatch {
+	var p core.PolicyPatch
+	f := func() *float64 {
+		// Mix round numbers with full-precision ones so the round-trip is
+		// exercised on both short and maximal %g forms.
+		var v float64
+		if rng.Intn(2) == 0 {
+			v = math.Round(rng.Float64()*1000) / 1000
+		} else {
+			v = rng.Float64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		return &v
+	}
+	if mask&(1<<0) != 0 {
+		sel := []core.SelectionPolicy{core.SelectHottest, core.SelectColdest, core.SelectRandom}[rng.Intn(3)]
+		p.Selection = &sel
+	}
+	if mask&(1<<1) != 0 {
+		mode := []core.EtMode{core.EtStatic, core.EtEWMA, core.EtSeasonal}[rng.Intn(3)]
+		p.EtMode = &mode
+	}
+	if mask&(1<<2) != 0 {
+		p.EtPercentile = f()
+	}
+	if mask&(1<<3) != 0 {
+		p.EtAlpha = f()
+	}
+	if mask&(1<<4) != 0 {
+		p.EtBand = f()
+	}
+	if mask&(1<<5) != 0 {
+		p.RampFrac = f()
+	}
+	if mask&(1<<6) != 0 {
+		h := rng.Intn(20) - 2
+		p.Horizon = &h
+	}
+	if mask&(1<<7) != 0 {
+		p.MaxFreezeRatio = f()
+	}
+	if mask&(1<<8) != 0 {
+		p.RStable = f()
+	}
+	if mask&(1<<9) != 0 {
+		mode := []core.UnfreezeMode{core.UnfreezeAll, core.UnfreezeHeadroom}[rng.Intn(2)]
+		p.Unfreeze = &mode
+	}
+	if mask&(1<<10) != 0 {
+		p.HeadroomTrigger = f()
+	}
+	if mask&(1<<11) != 0 {
+		p.HeadroomStepFrac = f()
+	}
+	return p
+}
+
+const patchFieldCount = 12
+
+// TestParsePatchInvertsString is the property test behind the
+// `ampere-trace why -alt` contract: for every subset of PolicyPatch fields
+// (all 2^12 single-subset masks, with random values per trial) the canonical
+// String() form parses back to a deeply equal patch. A field added to
+// PolicyPatch without extending randomPatch fails the struct-shape guard
+// below.
+func TestParsePatchInvertsString(t *testing.T) {
+	if n := reflect.TypeOf(core.PolicyPatch{}).NumField(); n != patchFieldCount {
+		t.Fatalf("PolicyPatch has %d fields, test covers %d — extend randomPatch and String/ParsePatch coverage", n, patchFieldCount)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for mask := 0; mask < 1<<patchFieldCount; mask++ {
+		p := randomPatch(rng, mask)
+		s := p.String()
+		got, err := ParsePatch(s)
+		if err != nil {
+			t.Fatalf("mask %#x: ParsePatch(%q): %v", mask, s, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("mask %#x: round-trip mismatch\n  in:  %+v\n  str: %q\n  out: %+v", mask, p, s, got)
+		}
+		if (s == "") != p.Empty() {
+			t.Fatalf("mask %#x: String()==%q but Empty()==%v", mask, s, p.Empty())
+		}
+	}
+}
+
+// TestParsePatchCommaAndSpaceSeparators: both separators (and mixes) parse.
+func TestParsePatchCommaAndSpaceSeparators(t *testing.T) {
+	a, err := ParsePatch("policy=coldest,et=ewma ramp=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParsePatch("policy=coldest et=ewma,ramp=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("separator variants differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestParsePatchRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"bogus=1", "policy=warmest", "et=arima", "unfreeze=never",
+		"horizon=x", "et-alpha=x", "headroom-trigger=", "policy",
+	} {
+		if _, err := ParsePatch(s); err == nil {
+			t.Errorf("ParsePatch(%q) accepted", s)
+		}
+	}
+}
