@@ -4,10 +4,10 @@
 # state between parallel run units would first show up).
 .PHONY: tier1 build lint vet test race race-shuffle fuzz fuzz-smoke chaos \
 	bench-runner bench-scale bench-scale-quick bench-check gridstorm \
-	whatif whatif-smoke tournament tournament-smoke
+	whatif whatif-smoke tournament tournament-smoke fig11scale fig11-smoke
 
 tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke whatif-smoke \
-	tournament-smoke
+	tournament-smoke fig11-smoke
 
 build:
 	go build ./...
@@ -81,6 +81,17 @@ tournament:
 # deterministically and byte-identical at replay worker counts 1 and 4.
 tournament-smoke:
 	go test ./internal/experiment/ -run TestTournamentSmoke400 -count=1
+
+# Fig 11 at deployment scale: a 100k-server fleet whose hot rows host a
+# 3-million-user service, row capping vs Ampere scored as per-op/per-class
+# p999 and SLO-miss (full scale: `go run ./cmd/ampere-exp -exp fig11scale`).
+fig11scale:
+	go run ./cmd/ampere-exp -exp fig11scale -quick
+
+# Tier-1's fig11scale smoke: the 240-server quick fleet, asserting the
+# capping-vs-freezing tail gap and live SLO-miss accounting.
+fig11-smoke:
+	go test ./internal/experiment/ -run TestFig11ScaleSmoke400 -count=1
 
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:

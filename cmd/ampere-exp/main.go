@@ -71,6 +71,7 @@ func main() {
 		"fig10":      runFig10Table2,
 		"table2":     runFig10Table2,
 		"fig11":      runFig11,
+		"fig11scale": runFig11Scale,
 		"fig12":      runFig12,
 		"table3":     runTable3,
 		"spread":     runSpread,
@@ -83,8 +84,8 @@ func main() {
 		"tournament": runTournament,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
-		"table2", "fig11", "fig12", "table3", "spread", "outage", "chaos", "ablations",
-		"scale", "gridstorm", "whatif", "tournament"}
+		"table2", "fig11", "fig11scale", "fig12", "table3", "spread", "outage", "chaos",
+		"ablations", "scale", "gridstorm", "whatif", "tournament"}
 
 	var ids []string
 	if *exp == "all" {
@@ -294,6 +295,27 @@ func runFig11(w io.Writer, rc runCtx) error {
 	}
 	experiment.FormatFig11(w, res)
 	return nil
+}
+
+// runFig11Scale is the Fig 11 comparison at the paper's deployment size: a
+// 100k-server fleet whose hot rows host a 3-million-user service, scored as
+// per-op/per-class p999 and SLO-miss under row capping vs the Ampere
+// controller. Regimes fan across two workers; output is byte-identical at
+// any -parallel / -ctl-parallel value.
+func runFig11Scale(w io.Writer, rc runCtx) error {
+	cfg := experiment.DefaultFig11Scale()
+	if rc.quick {
+		cfg = experiment.QuickFig11Scale()
+	}
+	cfg.Seed = pick(rc.seed, cfg.Seed)
+	cfg.Parallel = rc.parallel
+	cfg.CtlParallel = rc.ctlParallel
+	res, err := experiment.RunFig11Scale(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.FormatFig11Scale(w, cfg, res)
+	return writeCSV(rc.outDir, "fig11scale.csv", func(w *os.File) error { return res.WriteCSV(w) })
 }
 
 func runFig12(w io.Writer, rc runCtx) error {

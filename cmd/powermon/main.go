@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/whatif"
 	"repro/internal/workload"
@@ -71,10 +72,15 @@ func main() {
 		journalOut = flag.String("journal-out", "", "flush the journal to this JSONL file on shutdown")
 		ctlPar     = flag.Int("ctl-parallel", 0,
 			"controller plan-phase workers (0/1 = serial, -1 = all CPUs); decisions are identical at any value")
-		drAt    = flag.Float64("dr-at", 0, "demand-response event start, simulated minutes (0 = none)")
-		drDepth = flag.Float64("dr-depth", 0.2, "demand-response curtailment depth, fraction of budget")
-		drDwell = flag.Float64("dr-dwell", 60, "demand-response dwell, simulated minutes")
-		drRamp  = flag.Float64("dr-ramp", 0.02, "budget ramp limit per tick as fraction of base (0 = cliff)")
+		drAt     = flag.Float64("dr-at", 0, "demand-response event start, simulated minutes (0 = none)")
+		drDepth  = flag.Float64("dr-depth", 0.2, "demand-response curtailment depth, fraction of budget")
+		drDwell  = flag.Float64("dr-dwell", 60, "demand-response dwell, simulated minutes")
+		drRamp   = flag.Float64("dr-ramp", 0.02, "budget ramp limit per tick as fraction of base (0 = cliff)")
+		svcUsers = flag.Int("service-users", 0,
+			"simulated users of a pinned interactive service (0 = none); adds service_* metric families")
+		svcRPS       = flag.Float64("service-rps-per-user", 0.05, "per-user request rate (req/s)")
+		svcInstances = flag.Int("service-instances", 4, "service instances pinned across the fleet")
+		svcCtrs      = flag.Int("service-containers", 8, "containers reserved per service instance")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -83,6 +89,8 @@ func main() {
 		obs: *obsOn, pprof: *pprofOn, journalCap: *journalCap, journalOut: *journalOut,
 		ctlParallel: *ctlPar,
 		drAt:        *drAt, drDepth: *drDepth, drDwell: *drDwell, drRamp: *drRamp,
+		svcUsers: *svcUsers, svcRPSPerUser: *svcRPS,
+		svcInstances: *svcInstances, svcContainers: *svcCtrs,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "powermon:", err)
@@ -108,6 +116,13 @@ type runConfig struct {
 	drDepth     float64
 	drDwell     float64
 	drRamp      float64
+	// svcUsers > 0 pins an interactive service across the fleet (see the
+	// -service-users flag); all four knobs are part of the stack identity
+	// the /whatif offline rebuild reproduces.
+	svcUsers      int
+	svcRPSPerUser float64
+	svcInstances  int
+	svcContainers int
 }
 
 type status struct {
@@ -133,6 +148,7 @@ type stack struct {
 	ctl      *core.Controller
 	breakers []*breaker.Breaker
 	budget   float64
+	svc      *service.Service // nil unless -service-users > 0
 }
 
 // buildStack wires the whole simulation up to (and including) controller
@@ -169,6 +185,38 @@ func buildStack(cfg runConfig, reg *obs.Registry, journal *obs.Journal) (*stack,
 		rig.Mon.Instrument(reg)
 		rig.DB.Instrument(reg)
 		rig.Sched.Instrument(reg, journal)
+	}
+
+	// Optional interactive service: cfg.svcInstances hosts at even stride
+	// across the fleet, each with reserved containers, serving cfg.svcUsers
+	// users as steady/diurnal/flash client classes. Reservations land before
+	// StartBase so placement stays deterministic, which keeps the /whatif
+	// offline rebuild byte-identical to the live run.
+	var svc *service.Service
+	if cfg.svcUsers > 0 {
+		total := spec.TotalServers()
+		if cfg.svcInstances < 1 || cfg.svcInstances > total {
+			return nil, fmt.Errorf("service-instances %d outside [1,%d]", cfg.svcInstances, total)
+		}
+		stride := total / cfg.svcInstances
+		hosts := make([]*cluster.Server, 0, cfg.svcInstances)
+		for i := 0; i < cfg.svcInstances; i++ {
+			sv := rig.Cluster.Servers[i*stride]
+			if err := rig.Sched.Reserve(sv.ID, cfg.svcContainers, float64(cfg.svcContainers)); err != nil {
+				return nil, err
+			}
+			hosts = append(hosts, sv)
+		}
+		svc, err = service.New(rig.Eng, cfg.seed, service.Config{
+			Classes: service.DefaultClasses(cfg.svcUsers, cfg.svcRPSPerUser),
+		}, hosts)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.obs {
+			svc.Instrument(reg)
+		}
+		svc.Start()
 	}
 	rig.StartBase()
 
@@ -262,7 +310,7 @@ func buildStack(cfg runConfig, reg *obs.Registry, journal *obs.Journal) (*stack,
 		})
 		controller.Start()
 	}
-	return &stack{rig: rig, ctl: controller, breakers: breakers, budget: budget}, nil
+	return &stack{rig: rig, ctl: controller, breakers: breakers, budget: budget, svc: svc}, nil
 }
 
 func run(cfg runConfig) error {

@@ -9,6 +9,7 @@ package capping
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -143,6 +144,22 @@ func (cp *Capper) SetEnabled(on bool) { cp.enabled = on }
 
 // Stats returns a copy of domain i's counters.
 func (cp *Capper) Stats(i int) Stats { return cp.stats[i] }
+
+// SetBudget retargets domain i's enforced budget at runtime. A capper
+// deployed as Ampere's safety net follows the controller's effective budget
+// (core.Controller.OnBudgetChange), so a demand-response curtailment tightens
+// the last-resort cap along with the control target.
+func (cp *Capper) SetBudget(i int, w float64) error {
+	if i < 0 || i >= len(cp.domains) {
+		return fmt.Errorf("capping: domain %d out of range [0,%d)", i, len(cp.domains))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("capping: domain %d (%s) budget %v must be positive and finite",
+			i, cp.domains[i].Name, w)
+	}
+	cp.domains[i].BudgetW = w
+	return nil
+}
 
 // stepStatic enforces the uncoordinated fair-share policy: each server
 // permanently capped at budget/n when its demand exceeds that share.

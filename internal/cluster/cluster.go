@@ -120,7 +120,13 @@ type Server struct {
 
 	noise *stats.AR1
 
-	speedListeners []func(s *Server, oldSpeed float64)
+	speedListeners []*speedListener
+}
+
+// speedListener wraps a speed-change callback so detaching can find its own
+// registration by identity (func values are not comparable).
+type speedListener struct {
+	fn func(s *Server, oldSpeed float64)
 }
 
 // Spec returns the cluster spec the server was built with.
@@ -268,17 +274,29 @@ func (s *Server) RemoveCap() {
 // OnSpeedChange registers a listener notified whenever the DVFS frequency
 // factor changes. The job executor uses it to reschedule in-flight
 // completions; the interactive-service substrate uses it to stretch request
-// service times. Listeners run in registration order.
-func (s *Server) OnSpeedChange(fn func(s *Server, oldSpeed float64)) {
-	s.speedListeners = append(s.speedListeners, fn)
+// service times. Listeners run in registration order. The returned detach
+// func removes the listener (idempotent); a discarded subscriber must call
+// it, or the server keeps invoking the stale callback forever. Detaching
+// from within a speed notification is not supported.
+func (s *Server) OnSpeedChange(fn func(s *Server, oldSpeed float64)) (detach func()) {
+	l := &speedListener{fn: fn}
+	s.speedListeners = append(s.speedListeners, l)
+	return func() {
+		for i, x := range s.speedListeners {
+			if x == l {
+				s.speedListeners = append(s.speedListeners[:i], s.speedListeners[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 func (s *Server) notifySpeed(old float64) {
 	if s.speed == old {
 		return
 	}
-	for _, fn := range s.speedListeners {
-		fn(s, old)
+	for _, l := range s.speedListeners {
+		l.fn(s, old)
 	}
 }
 

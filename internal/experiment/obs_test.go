@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -44,6 +45,20 @@ func newObservedRig(t *testing.T) (*Rig, *obs.Registry, *obs.Journal) {
 	rig.DB.Instrument(reg)
 	rig.Sched.Instrument(reg, journal)
 	journal.Instrument(reg)
+
+	// An interactive service on a handful of servers, the way powermon
+	// attaches one. No containers are reserved: serving only listens to host
+	// speed, so the cluster physics (and the journal) stay identical to a
+	// rig without it.
+	svcHosts := rig.Cluster.Servers[:4]
+	svc, err := service.New(rig.Eng, 7, service.Config{
+		Classes: service.DefaultClasses(10_000, 0.05),
+	}, svcHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Instrument(reg)
+	svc.Start()
 	rig.StartBase()
 
 	inj, err := chaos.New(rig.Eng, chaos.Plan{Seed: 7})
@@ -113,13 +128,15 @@ func TestFullRigMetricsCoverage(t *testing.T) {
 		"chaos_reads_blacked_out_total 0",
 		"obs_journal_events_total 62",
 		"obs_journal_evicted_total 0",
+		`service_slo_miss_total{class="steady",op="GET"} `,
+		"service_windows_total 180",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("scrape missing %q", want)
 		}
 	}
 	// Every subsystem prefix must appear with at least one sample line.
-	for _, prefix := range []string{"ampere_", "monitor_", "tsdb_", "scheduler_", "breaker_", "chaos_"} {
+	for _, prefix := range []string{"ampere_", "monitor_", "tsdb_", "scheduler_", "breaker_", "chaos_", "service_"} {
 		found := false
 		for _, line := range strings.Split(out, "\n") {
 			if strings.HasPrefix(line, prefix) {

@@ -57,14 +57,26 @@ func DefaultTournamentPatches(cfg GridstormConfig) []string {
 }
 
 // DefaultTournament is the paper-scale tournament (100k servers per entry).
+// Unlike the published gridstorm regimes, the tournament grid carries a
+// 2-million-user service on the curtailed rows, so contenders are also
+// ranked on the request tails their policy would have produced.
 func DefaultTournament() TournamentConfig {
 	cfg := DefaultGridstorm()
+	cfg.ServiceUsers = 2_000_000
+	cfg.ServiceRPSPerUser = 0.0144
+	cfg.ServicePerRow = 8
+	cfg.ServiceContainers = 16
 	return TournamentConfig{Grid: cfg, Patches: DefaultTournamentPatches(cfg)}
 }
 
-// QuickTournament shrinks the grid for -quick runs and tests.
+// QuickTournament shrinks the grid for -quick runs and tests, keeping the
+// per-instance service intensity of the full tournament.
 func QuickTournament() TournamentConfig {
 	cfg := QuickGridstorm()
+	cfg.ServiceUsers = 40_000
+	cfg.ServiceRPSPerUser = 0.0116
+	cfg.ServicePerRow = 8
+	cfg.ServiceContainers = 16
 	return TournamentConfig{Grid: cfg, Patches: DefaultTournamentPatches(cfg)}
 }
 
@@ -83,6 +95,12 @@ type TournamentRow struct {
 	TrippedDomains      []string `json:"tripped_domains,omitempty"`
 	FreezeOps           int64    `json:"freeze_ops"`
 	UnfreezeOps         int64    `json:"unfreeze_ops"`
+	// P999US/SLOMissPct are the service tail-latency axis (0 when the grid
+	// carries no service): a policy that leans on the safety-net capper
+	// instead of freeze-and-displace stretches request tails, and ranks
+	// below one that protects them.
+	P999US     float64 `json:"service_p999_us,omitempty"`
+	SLOMissPct float64 `json:"service_slo_miss_pct,omitempty"`
 	// KPIs are the scenario scalars (scheduler job counters) at run end.
 	KPIs map[string]float64 `json:"kpis,omitempty"`
 }
@@ -199,6 +217,8 @@ func RunTournament(cfg TournamentConfig) (*TournamentResult, error) {
 			TrippedDomains:      rep.Alt.TrippedDomains,
 			FreezeOps:           rep.Alt.FreezeOps,
 			UnfreezeOps:         rep.Alt.UnfreezeOps,
+			P999US:              kpis["service_p999_us"],
+			SLOMissPct:          kpis["service_slo_miss_pct"],
 			KPIs:                kpis,
 		}
 		if compiled[i].canonical == "" && !rep.Identical {
@@ -219,8 +239,9 @@ type tournamentEntry struct {
 }
 
 // cmpTournamentRows orders best-first: fewest breaker trips, fewest
-// violation ticks, least frozen capacity, most completed jobs, patch string
-// as the total-order tiebreak.
+// violation ticks, least frozen capacity, best service tail (p999, then
+// SLO-miss — both 0 and inert when the grid carries no service), most
+// completed jobs, patch string as the total-order tiebreak.
 func cmpTournamentRows(a, b TournamentRow) int {
 	if a.Trips != b.Trips {
 		if a.Trips < b.Trips {
@@ -236,6 +257,18 @@ func cmpTournamentRows(a, b TournamentRow) int {
 	}
 	if a.FrozenServerMinutes != b.FrozenServerMinutes {
 		if a.FrozenServerMinutes < b.FrozenServerMinutes {
+			return -1
+		}
+		return 1
+	}
+	if a.P999US != b.P999US {
+		if a.P999US < b.P999US {
+			return -1
+		}
+		return 1
+	}
+	if a.SLOMissPct != b.SLOMissPct {
+		if a.SLOMissPct < b.SLOMissPct {
 			return -1
 		}
 		return 1
@@ -262,16 +295,17 @@ func FormatTournament(w io.Writer, res *TournamentResult) {
 	} else {
 		fmt.Fprintf(w, "  baseline self-replay: DIVERGED — determinism contract broken\n\n")
 	}
-	fmt.Fprintf(w, "%4s  %-28s %5s %9s %14s %9s %9s %10s %8s\n",
-		"rank", "patch", "trips", "viol-tick", "frozen-srv-min", "freezes", "unfreezes", "jobs-done", "killed")
+	fmt.Fprintf(w, "%4s  %-28s %5s %9s %14s %10s %9s %9s %9s %10s %8s\n",
+		"rank", "patch", "trips", "viol-tick", "frozen-srv-min", "p999(µs)", "slo-miss%", "freezes", "unfreezes", "jobs-done", "killed")
 	for _, r := range res.Rows {
 		patch := r.Patch
 		if patch == "" {
 			patch = "(baseline)"
 		}
-		fmt.Fprintf(w, "%4d  %-28s %5d %9d %14.1f %9d %9d %10.0f %8.0f\n",
+		fmt.Fprintf(w, "%4d  %-28s %5d %9d %14.1f %10.0f %9.3f %9d %9d %10.0f %8.0f\n",
 			r.Rank, patch, r.Trips, r.ViolationTicks, r.FrozenServerMinutes,
-			r.FreezeOps, r.UnfreezeOps, r.KPIs["jobs_completed"], r.KPIs["jobs_killed"])
+			r.P999US, r.SLOMissPct, r.FreezeOps, r.UnfreezeOps,
+			r.KPIs["jobs_completed"], r.KPIs["jobs_killed"])
 	}
 }
 

@@ -52,7 +52,7 @@ func GridstormBuilder(cfg GridstormConfig, ramped bool) whatif.Builder {
 			RunUntil: st.rig.Run,
 			KPIs: func() map[string]float64 {
 				s := st.rig.Sched.Stats()
-				return map[string]float64{
+				kpis := map[string]float64{
 					"jobs_submitted": float64(s.Submitted),
 					"jobs_placed":    float64(s.Placed),
 					"jobs_completed": float64(s.Completed),
@@ -60,6 +60,12 @@ func GridstormBuilder(cfg GridstormConfig, ramped bool) whatif.Builder {
 					"jobs_overflow":  float64(s.Overflowed),
 					"jobs_killed":    float64(s.Killed),
 				}
+				if st.svc != nil {
+					kpis["service_requests"] = float64(st.svc.TotalServed())
+					kpis["service_p999_us"] = st.svc.AggregateLatencyQuantileUS(0.999)
+					kpis["service_slo_miss_pct"] = st.svc.TotalSLOMissRate() * 100
+				}
+				return kpis
 			},
 		}, nil
 	}

@@ -1,0 +1,175 @@
+package load
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	tg := []Target{{Name: "a", URL: "http://127.0.0.1:1/x"}}
+	cases := []Config{
+		{RPS: 100, Duration: time.Second},                                 // no targets
+		{Targets: tg, RPS: 0, Duration: time.Second},                      // zero rate
+		{Targets: tg, RPS: math.Inf(1), Duration: time.Second},            // inf rate
+		{Targets: tg, RPS: 100},                                           // no duration
+		{Targets: tg, RPS: 100, Duration: time.Second, MaxInFlight: -1},   // bad limit
+		{Targets: []Target{{Name: "a"}}, RPS: 100, Duration: time.Second}, // no URL
+		{Targets: []Target{{Name: "a", URL: "http://x", Weight: -1}}, RPS: 100, Duration: time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// Open-loop property: the arrival count tracks RPS × Duration regardless of
+// how the server behaves, because the schedule is absolute. The count check
+// uses a generous 6σ Poisson band so wall-clock jitter cannot flake it.
+func TestArrivalCountMatchesRate(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+	}))
+	defer srv.Close()
+	cfg := Config{
+		Targets:  []Target{{Name: "ok", URL: srv.URL}},
+		RPS:      400,
+		Duration: 2 * time.Second,
+		Seed:     1,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 800.0
+	if got := float64(res.Intended); math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Errorf("intended %v arrivals at 400 rps × 2 s, want ≈800", got)
+	}
+	tr := res.Targets[0]
+	if tr.Sent != res.Intended || tr.Dropped != 0 {
+		t.Errorf("fast server: sent %d dropped %d, want all %d sent", tr.Sent, tr.Dropped, res.Intended)
+	}
+	if tr.Done != tr.Sent || tr.Errors != 0 {
+		t.Errorf("done %d errors %d for %d sent", tr.Done, tr.Errors, tr.Sent)
+	}
+	if tr.Latency.Count() != tr.Done {
+		t.Errorf("recorded %d latencies for %d completions", tr.Latency.Count(), tr.Done)
+	}
+	if atomic.LoadInt64(&hits) != tr.Sent {
+		t.Errorf("server saw %d hits, harness sent %d", hits, tr.Sent)
+	}
+}
+
+// A stalled server must not throttle arrivals (open loop): the schedule keeps
+// producing, excess arrivals shed at the in-flight limit as drops, and the
+// intended count stays on the configured rate.
+func TestStalledServerDoesNotThrottleArrivals(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+	cfg := Config{
+		Targets:     []Target{{Name: "stall", URL: srv.URL}},
+		RPS:         300,
+		Duration:    time.Second,
+		Timeout:     200 * time.Millisecond,
+		MaxInFlight: 8,
+		Seed:        2,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300.0
+	if got := float64(res.Intended); math.Abs(got-want) > 6*math.Sqrt(want) {
+		t.Errorf("stalled server bent the arrival schedule: %v arrivals, want ≈300", got)
+	}
+	tr := res.Targets[0]
+	if tr.Dropped == 0 {
+		t.Error("no drops at MaxInFlight=8 against a stalled server")
+	}
+	if tr.Sent+tr.Dropped != res.Intended {
+		t.Errorf("sent %d + dropped %d ≠ intended %d", tr.Sent, tr.Dropped, res.Intended)
+	}
+	if tr.Done != 0 || tr.Errors != tr.Sent {
+		t.Errorf("stalled server produced done=%d errors=%d of %d sent", tr.Done, tr.Errors, tr.Sent)
+	}
+}
+
+// HTTP error statuses count as errors but still record latency; weights split
+// the stream across targets.
+func TestErrorsAndWeights(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/bad") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+	cfg := Config{
+		Targets: []Target{
+			{Name: "good", URL: srv.URL + "/good", Weight: 3},
+			{Name: "bad", URL: srv.URL + "/bad", Weight: 1},
+		},
+		RPS:      400,
+		Duration: time.Second,
+		Seed:     3,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := res.Targets[0], res.Targets[1]
+	if bad.Errors != bad.Sent || bad.Done != 0 {
+		t.Errorf("bad target: %d errors of %d sent", bad.Errors, bad.Sent)
+	}
+	if bad.Latency.Count() != bad.Sent {
+		t.Errorf("HTTP-error responses must record latency: %d of %d", bad.Latency.Count(), bad.Sent)
+	}
+	if good.Errors != 0 || good.Done != good.Sent {
+		t.Errorf("good target: done %d errors %d of %d", good.Done, good.Errors, good.Sent)
+	}
+	// 3:1 weights: the good share must be clearly dominant.
+	if good.Sent < bad.Sent*2 {
+		t.Errorf("weight 3:1 produced %d:%d split", good.Sent, bad.Sent)
+	}
+	out := res.Format()
+	for _, want := range []string{"TOTAL", "good", "bad", "p999(ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted result missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContextCancelStopsRun(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	cfg := Config{
+		Targets:  []Target{{Name: "a", URL: srv.URL}},
+		RPS:      100,
+		Duration: time.Hour, // far beyond the context deadline
+		Seed:     4,
+	}
+	start := time.Now()
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled run did not stop promptly")
+	}
+	if res.Intended == 0 {
+		t.Error("nothing arrived before cancellation")
+	}
+}

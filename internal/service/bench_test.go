@@ -1,0 +1,44 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// BenchmarkServiceReplay guards the per-window replay cost at a 1M-user
+// aggregate rate: one million simulated users at 0.06 req/s each (60k req/s
+// service-wide) over 20 instances, 1 s windows. The cost must scale with the
+// request count, never the user count — a regression here makes fig11scale's
+// 100k-server runs unaffordable.
+func BenchmarkServiceReplay(b *testing.B) {
+	sp := cluster.DefaultSpec()
+	sp.Rows, sp.RacksPerRow, sp.ServersPerRack = 1, 1, 20
+	sp.NoiseSigmaW = 0
+	c, err := cluster.New(sp, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	cfg := Config{
+		Classes: DefaultClasses(1_000_000, 0.06),
+		Window:  sim.Second,
+	}
+	s, err := New(eng, 9, cfg, c.Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunUntil(sim.Time(int64(i+1) * int64(sim.Second))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s.TotalServed() == 0 {
+		b.Fatal("nothing served")
+	}
+	b.ReportMetric(float64(s.TotalServed())/float64(b.N), "requests/window")
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// churnSpeed flips the server's frequency n times (each flip is a real speed
+// change, so every listener fires).
+func churnSpeed(sv *cluster.Server, n int) {
+	sp := sv.Spec()
+	for i := 0; i < n; i++ {
+		sv.ApplyCap(sp.IdlePowerW + (sv.DemandW()-sp.IdlePowerW)*0.5)
+		sv.RemoveCap()
+	}
+}
+
+// Regression for the speed-history leak: while the service is stopped — after
+// New but before Start, and again after Stop — capping churn must not grow the
+// per-instance frequency history.
+func TestSpeedHistoryBoundedWhileStopped(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	sv := servers[0]
+	sv.Allocate(8, 8)
+	s, err := New(eng, 1, DefaultConfig(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := s.instances[0]
+
+	churnSpeed(sv, 500) // never started
+	if n := len(inst.segs); n != 1 {
+		t.Fatalf("history grew to %d segments before Start, want 1", n)
+	}
+
+	s.Start()
+	if err := eng.RunUntil(sim.Time(30 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	churnSpeed(sv, 500) // stopped again
+	if n := len(inst.segs); n != 1 {
+		t.Fatalf("history grew to %d segments after Stop, want 1", n)
+	}
+	// While running, history accumulates within a window and is compressed
+	// at every window close — it must track churn, not leak across windows.
+	s.Start()
+	churnSpeed(sv, 3)
+	if n := len(inst.segs); n != 7 { // baseline + 6 flips
+		t.Errorf("running history has %d segments after 3 churns, want 7", n)
+	}
+	if err := eng.RunUntil(sim.Time(2 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(inst.segs); n != 1 {
+		t.Errorf("history holds %d segments after window close, want 1", n)
+	}
+}
+
+// Close must detach the speed subscriptions: after Close, server speed changes
+// no longer touch the instance state.
+func TestCloseDetachesSpeedListeners(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 2)
+	for _, sv := range servers {
+		sv.Allocate(8, 8)
+	}
+	s, err := New(eng, 1, DefaultConfig(), servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(30 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Plant a sentinel: any surviving listener would overwrite it.
+	for _, inst := range s.instances {
+		inst.segs[0].speed = -42
+	}
+	for _, sv := range servers {
+		churnSpeed(sv, 10)
+	}
+	for i, inst := range s.instances {
+		if inst.segs[0].speed != -42 {
+			t.Errorf("instance %d still receives speed notifications after Close", i)
+		}
+	}
+	// Accessors stay valid; Close is idempotent; Start after Close panics.
+	if s.TotalServed() == 0 {
+		t.Error("nothing served before Close")
+	}
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Start after Close did not panic")
+		}
+	}()
+	s.Start()
+}
+
+// Stop then Start must reset the window state coherently: the history
+// re-baselines at the current speed, the queue horizon clamps to now, and the
+// first post-restart window produces sane latencies even when the stop phase
+// was full of capping churn.
+func TestRestartResetsWindowState(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	sv := servers[0]
+	sv.Allocate(8, 8)
+	cfg := Config{
+		RequestsPerSecond: 100,
+		Ops:               []Op{{Name: "GET", BaseServiceUS: 100}},
+		Window:            10 * sim.Second,
+	}
+	s, err := New(eng, 3, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	churnSpeed(sv, 50)
+	if err := eng.RunUntil(sim.Time(5 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	served := s.TotalServed()
+	s.Start()
+	inst := s.instances[0]
+	if len(inst.segs) != 1 || inst.segs[0].at != eng.Now() || inst.segs[0].speed != sv.Speed() {
+		t.Errorf("restart did not re-baseline history: %+v at now=%v speed=%v",
+			inst.segs, eng.Now(), sv.Speed())
+	}
+	if inst.busyUntilMS < float64(eng.Now()) {
+		t.Errorf("restart left queue horizon %.1f before now %d", inst.busyUntilMS, eng.Now())
+	}
+	if err := eng.RunUntil(sim.Time(6 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalServed() <= served {
+		t.Error("service did not resume after restart")
+	}
+	// Uncapped and lightly loaded: post-restart p50 must sit near the base
+	// service time, not inherit stale queue or speed state.
+	if p50 := s.LatencyQuantileUS(0, 0.5); p50 < 90 || p50 > 150 {
+		t.Errorf("post-restart p50 = %v µs, want ≈100", p50)
+	}
+}
+
+// Regression for the zero-speed poisoning bug: a 0 (or NaN) final segment used
+// to make span×speed = ∞·0 = NaN, corrupting busyUntilMS and every later
+// latency. finish must clamp and stay finite.
+func TestFinishGuardsDegenerateSpeeds(t *testing.T) {
+	cases := [][]speedSeg{
+		{{at: 0, speed: 0}},
+		{{at: 0, speed: -1}},
+		{{at: 0, speed: math.NaN()}},
+		{{at: 0, speed: 1}, {at: 100, speed: 0}},                      // 0-speed open-ended tail
+		{{at: 0, speed: 0.5}, {at: 50, speed: 0}, {at: 60, speed: 1}}, // 0-speed interior
+	}
+	for i, segs := range cases {
+		done := finish(segs, 10, 0.25)
+		if math.IsNaN(done) || math.IsInf(done, 0) {
+			t.Errorf("case %d: finish returned %v for segs %+v", i, done, segs)
+		}
+		if done < 10 {
+			t.Errorf("case %d: finish returned %v before the start time", i, done)
+		}
+	}
+	// Sanity: full speed finishes exactly, half speed takes twice as long.
+	if got := finish([]speedSeg{{at: 0, speed: 1}}, 10, 0.25); got != 10.25 {
+		t.Errorf("full-speed finish = %v, want 10.25", got)
+	}
+	if got := finish([]speedSeg{{at: 0, speed: 0.5}}, 10, 0.25); got != 10.5 {
+		t.Errorf("half-speed finish = %v, want 10.5", got)
+	}
+}
+
+// A service whose host reports zero speed for a whole window must still
+// produce finite latency accounting end to end.
+func TestZeroSpeedWindowStaysFinite(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	cfg := Config{
+		RequestsPerSecond: 20,
+		Ops:               []Op{{Name: "GET", BaseServiceUS: 50}},
+		Window:            10 * sim.Second,
+	}
+	s, err := New(eng, 8, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	// Force a degenerate segment directly (cluster's own floor is 0.1, so a
+	// zero can only come from a corrupted snapshot — model that).
+	eng.At(sim.Time(15*sim.Second), "corrupt", func(now sim.Time) {
+		inst := s.instances[0]
+		inst.segs = append(inst.segs, speedSeg{at: now, speed: 0})
+	})
+	if err := eng.RunUntil(sim.Time(sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalServed() == 0 {
+		t.Fatal("nothing served")
+	}
+	for _, q := range []float64{0.5, 0.999} {
+		v := s.AggregateLatencyQuantileUS(q)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("quantile %v is %v after a zero-speed segment", q, v)
+		}
+	}
+	if bu := s.instances[0].busyUntilMS; math.IsNaN(bu) || math.IsInf(bu, 0) {
+		t.Errorf("busyUntilMS poisoned: %v", bu)
+	}
+}

@@ -6,13 +6,22 @@
 // capping inflates service times and builds queues — the mechanism behind
 // the near-doubled 99.9th-percentile latencies in Fig 11 — while Ampere's
 // freeze/unfreeze never touches running instances.
+//
+// Traffic comes from client classes (see Class): each class owns an arrival
+// process — steady Poisson, diurnal, or bursty MMPP flash crowd — a request
+// mix and a latency SLO. Per window the classes' aggregate rates compose
+// into one per-instance arrival stream (exponential inter-arrival gaps, each
+// arrival assigned to a class proportionally to its rate share), so the cost
+// of a window scales with the number of requests, not the number of
+// simulated users. Window rates can be recorded to and replayed from a
+// Trace.
 package service
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -51,17 +60,30 @@ func DefaultOps() []Op {
 
 // Config parameterizes the client load.
 type Config struct {
-	// RequestsPerSecond is the total open-loop request rate per instance,
-	// split across Ops by OpMix.
+	// RequestsPerSecond is the legacy single-class configuration: a steady
+	// open-loop request rate per instance, split across Ops by OpMix. It
+	// maps onto one Steady class and must be zero when Classes is set.
 	RequestsPerSecond float64
+	// Classes are the client populations driving the service; their
+	// aggregate arrival rate is spread evenly across the instances.
+	Classes []Class
 	// Ops lists the operation types (DefaultOps when nil).
 	Ops []Op
-	// OpMix weights the operations (uniform when nil).
+	// OpMix weights the operations for the legacy single-class path
+	// (uniform when nil). Per-class mixes live on Class.OpMix.
 	OpMix []float64
 	// Window is the batch-processing granularity; requests within a window
 	// are generated and replayed against the recorded frequency history at
 	// the window's end. Must be positive (default 10 s).
 	Window sim.Duration
+	// Replay, when set, drives every window's class rates from the trace
+	// (cycling past its horizon) instead of the classes' arrival processes.
+	// The trace's classes must match Classes by name and order, and its
+	// window must equal Window.
+	Replay *Trace
+	// Record captures each window's class rates; Recorded returns the
+	// accumulated trace.
+	Record bool
 }
 
 // DefaultConfig returns a moderate per-instance load (ρ ≈ 0.2 at full speed
@@ -83,33 +105,45 @@ type instance struct {
 	// single thread frees up.
 	busyUntilMS float64
 	// segs is the frequency history within the current window, starting
-	// with the speed at the window's start.
-	segs []speedSeg
+	// with the speed at the window's start. While the service is stopped
+	// the listener keeps it collapsed to the single current-speed segment,
+	// so an idle Service stays O(1) under 1 s capping churn.
+	segs   []speedSeg
+	detach func()
 }
 
 // Service drives request generation and latency accounting.
+//
+// The mutex guards the accounting state (counters, histograms, per-class
+// rates) against scrape-time readers: Instrument's collectors run on HTTP
+// goroutines while the simulation thread closes windows.
 type Service struct {
 	eng       *sim.Engine
 	cfg       Config
 	ops       []Op
-	mix       []float64 // cumulative weights
+	classes   []*classState
 	instances []*instance
-	hist      []*stats.LogHistogram // per op, latency in µs
-	served    []int64               // per op
-	sloMisses []int64               // per op
 	handle    *sim.Handle
+	running   bool
+	closed    bool
 	winStart  sim.Time
+	windowIdx int64 // windows closed since New (the trace cursor)
+
+	mu        sync.Mutex
+	served    [][]int64               // [class][op]
+	sloMisses [][]int64               // [class][op]
+	hist      [][]*stats.LogHistogram // [class][op], latency in µs
+	recorded  *Trace
+	cumShare  []float64 // scratch: cumulative class rate shares this window
 }
 
 // New pins one service instance on each given server and prepares the client
 // load. The caller is responsible for reserving scheduler containers for the
 // instances (scheduler.Reserve) so placement and power see their footprint.
+// A Service holds speed-change subscriptions on its servers until Close.
 func New(eng *sim.Engine, seed uint64, cfg Config, servers []*cluster.Server) (*Service, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("service: no servers")
-	}
-	if cfg.RequestsPerSecond <= 0 {
-		return nil, fmt.Errorf("service: non-positive request rate %v", cfg.RequestsPerSecond)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 10 * sim.Second
@@ -119,172 +153,486 @@ func New(eng *sim.Engine, seed uint64, cfg Config, servers []*cluster.Server) (*
 		ops = DefaultOps()
 	}
 	for i, op := range ops {
-		if op.BaseServiceUS <= 0 {
+		if !(op.BaseServiceUS > 0) || math.IsInf(op.BaseServiceUS, 0) {
 			return nil, fmt.Errorf("service: op %d (%s) has service time %v", i, op.Name, op.BaseServiceUS)
 		}
 	}
-	mix := cfg.OpMix
-	if mix == nil {
-		mix = make([]float64, len(ops))
-		for i := range mix {
-			mix[i] = 1
+
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		// Legacy single-class path: one steady population whose aggregate
+		// rate is RequestsPerSecond per instance.
+		if !(cfg.RequestsPerSecond > 0) || math.IsInf(cfg.RequestsPerSecond, 0) {
+			return nil, fmt.Errorf("service: non-positive request rate %v", cfg.RequestsPerSecond)
 		}
-	}
-	if len(mix) != len(ops) {
-		return nil, fmt.Errorf("service: OpMix has %d weights for %d ops", len(mix), len(ops))
-	}
-	cum := make([]float64, len(mix))
-	total := 0.0
-	for i, w := range mix {
-		if w < 0 {
-			return nil, fmt.Errorf("service: negative op weight %v", w)
+		classes = []Class{{
+			Name: "default", Kind: Steady,
+			Users: len(servers), RPSPerUser: cfg.RequestsPerSecond,
+			OpMix: cfg.OpMix,
+		}}
+	} else {
+		if cfg.RequestsPerSecond != 0 {
+			return nil, fmt.Errorf("service: both Classes and RequestsPerSecond set")
 		}
-		total += w
-		cum[i] = total
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("service: all op weights zero")
-	}
-	for i := range cum {
-		cum[i] /= total
+		if cfg.OpMix != nil {
+			return nil, fmt.Errorf("service: top-level OpMix with Classes (set Class.OpMix instead)")
+		}
 	}
 
-	s := &Service{eng: eng, cfg: cfg, ops: ops, mix: cum}
-	for range ops {
-		h, err := stats.NewLogHistogram(1, 60e6, 2400) // 1 µs … 60 s
+	s := &Service{eng: eng, cfg: cfg, ops: ops}
+	names := make(map[string]bool, len(classes))
+	for ci, c := range classes {
+		if err := c.validate(len(ops)); err != nil {
+			return nil, fmt.Errorf("service: class %d: %w", ci, err)
+		}
+		if names[c.Name] {
+			return nil, fmt.Errorf("service: class %q duplicated", c.Name)
+		}
+		names[c.Name] = true
+		cum, err := cumulativeMix(c.OpMix, len(ops))
 		if err != nil {
+			return nil, fmt.Errorf("service: class %s: %w", c.Name, err)
+		}
+		scale := c.SLOScale
+		if scale <= 0 {
+			scale = 1
+		}
+		slo := make([]float64, len(ops))
+		for oi, op := range ops {
+			slo[oi] = op.SLOUS * scale
+		}
+		s.classes = append(s.classes, &classState{
+			cfg:   c,
+			rng:   sim.SubRNG(seed, "service-class-"+c.Name),
+			cum:   cum,
+			sloUS: slo,
+		})
+	}
+
+	if tr := cfg.Replay; tr != nil {
+		if err := tr.Validate(); err != nil {
 			return nil, err
 		}
-		s.hist = append(s.hist, h)
+		if tr.WindowMS != int64(cfg.Window/sim.Millisecond) {
+			return nil, fmt.Errorf("service: trace window %d ms does not match configured window %v",
+				tr.WindowMS, cfg.Window)
+		}
+		if len(tr.Classes) != len(s.classes) {
+			return nil, fmt.Errorf("service: trace has %d classes, service has %d",
+				len(tr.Classes), len(s.classes))
+		}
+		for i, name := range tr.Classes {
+			if name != s.classes[i].cfg.Name {
+				return nil, fmt.Errorf("service: trace class %d is %q, service has %q",
+					i, name, s.classes[i].cfg.Name)
+			}
+		}
 	}
-	s.served = make([]int64, len(ops))
-	s.sloMisses = make([]int64, len(ops))
+	if cfg.Record {
+		s.recorded = &Trace{WindowMS: int64(cfg.Window / sim.Millisecond)}
+		for _, cs := range s.classes {
+			s.recorded.Classes = append(s.recorded.Classes, cs.cfg.Name)
+		}
+	}
+
+	s.served = make([][]int64, len(s.classes))
+	s.sloMisses = make([][]int64, len(s.classes))
+	s.hist = make([][]*stats.LogHistogram, len(s.classes))
+	for ci := range s.classes {
+		s.served[ci] = make([]int64, len(ops))
+		s.sloMisses[ci] = make([]int64, len(ops))
+		for range ops {
+			h, err := stats.NewLogHistogram(1, 60e6, 2400) // 1 µs … 60 s
+			if err != nil {
+				return nil, err
+			}
+			s.hist[ci] = append(s.hist[ci], h)
+		}
+	}
+	s.cumShare = make([]float64, len(s.classes))
+
 	for i, sv := range servers {
 		inst := &instance{
 			server: sv,
 			rng:    sim.SubRNG(seed, fmt.Sprintf("service-instance-%d", i)),
 		}
 		inst.segs = []speedSeg{{at: eng.Now(), speed: sv.Speed()}}
-		sv.OnSpeedChange(func(srv *cluster.Server, old float64) {
-			inst.segs = append(inst.segs, speedSeg{at: eng.Now(), speed: srv.Speed()})
+		inst.detach = sv.OnSpeedChange(func(srv *cluster.Server, old float64) {
+			if s.running {
+				inst.segs = append(inst.segs, speedSeg{at: s.eng.Now(), speed: srv.Speed()})
+				return
+			}
+			// No window is accumulating latency history: collapse to the
+			// single current-speed segment instead of growing without bound.
+			inst.segs = inst.segs[:1]
+			inst.segs[0] = speedSeg{at: s.eng.Now(), speed: srv.Speed()}
 		})
 		s.instances = append(s.instances, inst)
 	}
 	return s, nil
 }
 
+// cumulativeMix normalizes op-mix weights (uniform when nil) into cumulative
+// form for sampling.
+func cumulativeMix(mix []float64, nops int) ([]float64, error) {
+	if mix == nil {
+		mix = make([]float64, nops)
+		for i := range mix {
+			mix[i] = 1
+		}
+	}
+	if len(mix) != nops {
+		return nil, fmt.Errorf("OpMix has %d weights for %d ops", len(mix), nops)
+	}
+	cum := make([]float64, len(mix))
+	total := 0.0
+	for i, w := range mix {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("invalid op weight %v", w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("all op weights zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum, nil
+}
+
 // Start begins request processing; the first window closes one Window from
-// now.
+// now. Starting resets the window state — each instance's frequency history
+// re-baselines at the server's current speed and the queue horizon clamps to
+// now — so a Stop/Start cycle behaves like a fresh start (cumulative
+// counters and the trace cursor carry over).
 func (s *Service) Start() {
+	if s.closed {
+		panic("service: Start after Close")
+	}
 	if s.handle != nil {
 		return
 	}
-	s.winStart = s.eng.Now()
-	s.handle = s.eng.Every(s.eng.Now().Add(s.cfg.Window), s.cfg.Window, "service-window", s.closeWindow)
+	now := s.eng.Now()
+	s.winStart = now
+	for _, inst := range s.instances {
+		inst.segs = inst.segs[:1]
+		inst.segs[0] = speedSeg{at: now, speed: inst.server.Speed()}
+		if inst.busyUntilMS < float64(now) {
+			inst.busyUntilMS = float64(now)
+		}
+	}
+	s.running = true
+	s.handle = s.eng.Every(now.Add(s.cfg.Window), s.cfg.Window, "service-window", s.closeWindow)
 }
 
-// Stop halts request generation after the current window.
+// Stop halts request generation. Arrivals in the partially elapsed window
+// are discarded; a later Start resets the window state coherently.
 func (s *Service) Stop() {
 	if s.handle != nil {
 		s.handle.Cancel()
 		s.handle = nil
 	}
+	s.running = false
 }
 
-// Served returns the number of completed requests for op index i.
-func (s *Service) Served(i int) int64 { return s.served[i] }
+// Close stops the service and detaches its speed-change subscriptions from
+// every server — a discarded Service must be closed, or the servers keep
+// notifying it forever. Accessors stay valid; Start after Close panics.
+func (s *Service) Close() {
+	s.Stop()
+	s.closed = true
+	for _, inst := range s.instances {
+		if inst.detach != nil {
+			inst.detach()
+			inst.detach = nil
+		}
+	}
+}
 
 // Ops returns the operation table.
 func (s *Service) Ops() []Op { return s.ops }
 
+// Classes returns the client-class table (the synthesized "default" class on
+// the legacy single-rate path).
+func (s *Service) Classes() []Class {
+	out := make([]Class, len(s.classes))
+	for i, cs := range s.classes {
+		out[i] = cs.cfg
+	}
+	return out
+}
+
+// Served returns the number of completed requests for op index i, summed
+// over classes.
+func (s *Service) Served(i int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for ci := range s.classes {
+		n += s.served[ci][i]
+	}
+	return n
+}
+
+// TotalServed returns the number of completed requests across all classes
+// and operations.
+func (s *Service) TotalServed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for ci := range s.classes {
+		for oi := range s.ops {
+			n += s.served[ci][oi]
+		}
+	}
+	return n
+}
+
 // LatencyQuantileUS returns the q-th latency quantile (q in [0,1]) of op
-// index i, in microseconds.
+// index i, in microseconds, over all classes.
 func (s *Service) LatencyQuantileUS(i int, q float64) float64 {
-	return s.hist[i].Quantile(q)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mergedLocked(-1, i).Quantile(q)
 }
 
 // MeanLatencyUS returns op i's approximate mean latency in microseconds.
-func (s *Service) MeanLatencyUS(i int) float64 { return s.hist[i].Mean() }
+func (s *Service) MeanLatencyUS(i int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mergedLocked(-1, i).Mean()
+}
 
 // SLOMissRate returns the fraction of op i's requests that exceeded their
 // latency objective (0 when the op has no SLO or nothing was served).
 func (s *Service) SLOMissRate(i int) float64 {
-	if s.served[i] == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var served, missed int64
+	for ci := range s.classes {
+		served += s.served[ci][i]
+		missed += s.sloMisses[ci][i]
+	}
+	if served == 0 {
 		return 0
 	}
-	return float64(s.sloMisses[i]) / float64(s.served[i])
+	return float64(missed) / float64(served)
 }
 
-// closeWindow replays the window's request arrivals for every instance
-// against the frequency history recorded during the window.
+// ClassServed returns class c's completed requests across all operations.
+func (s *Service) ClassServed(c int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for oi := range s.ops {
+		n += s.served[c][oi]
+	}
+	return n
+}
+
+// ClassSLOMissRate returns the fraction of class c's requests that missed
+// their objective.
+func (s *Service) ClassSLOMissRate(c int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var served, missed int64
+	for oi := range s.ops {
+		served += s.served[c][oi]
+		missed += s.sloMisses[c][oi]
+	}
+	if served == 0 {
+		return 0
+	}
+	return float64(missed) / float64(served)
+}
+
+// ClassLatencyQuantileUS returns class c's q-th latency quantile across all
+// operations, in microseconds.
+func (s *Service) ClassLatencyQuantileUS(c int, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mergedLocked(c, -1).Quantile(q)
+}
+
+// AggregateLatencyQuantileUS returns the q-th latency quantile over every
+// class and operation, in microseconds.
+func (s *Service) AggregateLatencyQuantileUS(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mergedLocked(-1, -1).Quantile(q)
+}
+
+// TotalSLOMissRate returns the miss fraction over every class and operation.
+func (s *Service) TotalSLOMissRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var served, missed int64
+	for ci := range s.classes {
+		for oi := range s.ops {
+			served += s.served[ci][oi]
+			missed += s.sloMisses[ci][oi]
+		}
+	}
+	if served == 0 {
+		return 0
+	}
+	return float64(missed) / float64(served)
+}
+
+// Recorded returns the trace accumulated so far (nil unless Config.Record).
+// The caller must not mutate it while the service is running.
+func (s *Service) Recorded() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recorded
+}
+
+// mergedLocked returns the latency population for (class c, op i), merging
+// across classes when c < 0 and across ops when i < 0. When the selection is
+// a single histogram it is returned directly; merges allocate, which is fine
+// at read/scrape frequency. Callers hold s.mu.
+func (s *Service) mergedLocked(c, i int) *stats.LogHistogram {
+	if c >= 0 && i >= 0 {
+		return s.hist[c][i]
+	}
+	if c < 0 && len(s.classes) == 1 && i >= 0 {
+		return s.hist[0][i]
+	}
+	out, err := stats.NewLogHistogram(1, 60e6, 2400)
+	if err != nil {
+		panic(err) // fixed valid layout; cannot fail
+	}
+	for ci := range s.classes {
+		if c >= 0 && ci != c {
+			continue
+		}
+		for oi := range s.ops {
+			if i >= 0 && oi != i {
+				continue
+			}
+			if err := out.Merge(s.hist[ci][oi]); err != nil {
+				panic(err) // identical layouts by construction
+			}
+		}
+	}
+	return out
+}
+
+// closeWindow composes the window's class rates, replays the arrivals for
+// every instance against the frequency history recorded during the window,
+// then advances the MMPP phases and compresses the histories.
 func (s *Service) closeWindow(now sim.Time) {
 	start := s.winStart
 	s.winStart = now
 	windowMS := float64(now.Sub(start))
+
+	s.mu.Lock()
+	total := 0.0
+	for ci, cs := range s.classes {
+		var r float64
+		if s.cfg.Replay != nil {
+			r = s.cfg.Replay.window(s.windowIdx)[ci]
+		} else {
+			r = cs.windowRate(start)
+		}
+		cs.rateRPS = r
+		total += r
+		s.cumShare[ci] = total
+	}
+	if s.recorded != nil {
+		row := make([]float64, len(s.classes))
+		for ci, cs := range s.classes {
+			row[ci] = cs.rateRPS
+		}
+		s.recorded.Rates = append(s.recorded.Rates, row)
+	}
+	s.windowIdx++
+	if total > 0 {
+		for ci := range s.cumShare {
+			s.cumShare[ci] /= total
+		}
+		perInstPerMS := total / 1000 / float64(len(s.instances))
+		for _, inst := range s.instances {
+			s.replay(inst, start, windowMS, perInstPerMS)
+		}
+	}
+	s.mu.Unlock()
+
+	if s.cfg.Replay == nil {
+		for _, cs := range s.classes {
+			cs.advancePhase()
+		}
+	}
 	for _, inst := range s.instances {
-		s.replay(inst, start, windowMS)
 		// Compress history: keep only the current speed for the next window.
-		inst.segs = inst.segs[:0]
-		inst.segs = append(inst.segs, speedSeg{at: now, speed: inst.server.Speed()})
+		inst.segs = inst.segs[:1]
+		inst.segs[0] = speedSeg{at: now, speed: inst.server.Speed()}
 	}
 }
 
-// replay generates the window's Poisson arrivals and pushes them through the
-// instance's single-threaded FCFS queue. Within the window the frequency is
+// replay streams the window's arrivals in time order — exponential
+// inter-arrival gaps at the composed rate, no per-request allocation — and
+// pushes them through the instance's single-threaded FCFS queue. Each
+// arrival picks its class proportionally to the classes' rate shares, then
+// an operation from the class's mix. Within the window the frequency is
 // piecewise constant per the recorded segments; work started near the window
 // edge is finished at the final segment's speed (exact unless the frequency
 // changes again immediately, a negligible horizon at 10 s windows vs 1 s
-// capping).
-func (s *Service) replay(inst *instance, start sim.Time, windowMS float64) {
-	lambdaPerMS := s.cfg.RequestsPerSecond / 1000
-	n := sim.Poisson(inst.rng, lambdaPerMS*windowMS)
-	if n == 0 {
-		return
-	}
-	arrivals := make([]float64, n) // ms offsets within the window
-	for i := range arrivals {
-		arrivals[i] = inst.rng.Float64() * windowMS
-	}
-	sort.Float64s(arrivals)
-
+// capping). Callers hold s.mu.
+func (s *Service) replay(inst *instance, start sim.Time, windowMS, perInstPerMS float64) {
 	base := float64(start)
 	if inst.busyUntilMS < base {
 		inst.busyUntilMS = base
 	}
-	for _, off := range arrivals {
-		at := base + off
+	r := inst.rng
+	single := len(s.classes) == 1
+	for t := r.ExpFloat64() / perInstPerMS; t < windowMS; t += r.ExpFloat64() / perInstPerMS {
+		at := base + t
+		ci := 0
+		if !single {
+			ci = pickCum(r, s.cumShare)
+		}
+		cs := s.classes[ci]
+		opIdx := pickCum(r, cs.cum)
 		startSvc := at
 		if inst.busyUntilMS > startSvc {
 			startSvc = inst.busyUntilMS
 		}
-		opIdx := s.pickOp(inst.rng)
 		workMS := s.ops[opIdx].BaseServiceUS / 1000
-		done := s.finish(inst, startSvc, workMS)
+		done := finish(inst.segs, startSvc, workMS)
 		inst.busyUntilMS = done
 		latencyUS := (done - at) * 1000
-		s.hist[opIdx].Add(latencyUS)
-		s.served[opIdx]++
-		if slo := s.ops[opIdx].SLOUS; slo > 0 && latencyUS > slo {
-			s.sloMisses[opIdx]++
+		s.hist[ci][opIdx].Add(latencyUS)
+		s.served[ci][opIdx]++
+		if slo := cs.sloUS[opIdx]; slo > 0 && latencyUS > slo {
+			s.sloMisses[ci][opIdx]++
 		}
 	}
 }
 
-// pickOp samples an operation index from the cumulative mix weights.
-func (s *Service) pickOp(r *rand.Rand) int {
+// pickCum samples an index from cumulative weights.
+func pickCum(r *rand.Rand, cum []float64) int {
 	x := r.Float64()
-	for i, c := range s.mix {
+	for i, c := range cum {
 		if x < c {
 			return i
 		}
 	}
-	return len(s.mix) - 1
+	return len(cum) - 1
 }
 
+// minSegSpeed floors the frequency factor used in latency accounting.
+// Cluster speeds are normally ≥ 0.1 (the ApplyCap hardware floor), but a
+// zero, negative or NaN segment — a stopped host, a corrupted snapshot —
+// would otherwise make span×speed = ∞·0 = NaN on the open-ended final
+// segment, poisoning busyUntilMS and every later latency in the window.
+const minSegSpeed = 1e-6
+
 // finish consumes workMS of full-speed work starting at startMS, walking the
-// instance's piecewise-constant frequency segments.
-func (s *Service) finish(inst *instance, startMS, workMS float64) float64 {
-	segs := inst.segs
+// piecewise-constant frequency segments.
+func finish(segs []speedSeg, startMS, workMS float64) float64 {
 	// Locate the active segment (segments are few; linear scan from the end
 	// is cheapest because requests arrive in time order).
 	i := len(segs) - 1
@@ -294,6 +642,9 @@ func (s *Service) finish(inst *instance, startMS, workMS float64) float64 {
 	t := startMS
 	for ; i < len(segs); i++ {
 		speed := segs[i].speed
+		if !(speed > minSegSpeed) { // also catches NaN
+			speed = minSegSpeed
+		}
 		segEnd := math.Inf(1)
 		if i+1 < len(segs) {
 			segEnd = float64(segs[i+1].at)

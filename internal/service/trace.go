@@ -1,0 +1,93 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace is a replayable arrival-rate recording: one row per window, one
+// aggregate requests-per-second figure per class. Recording rates rather
+// than individual arrivals is what makes a millions-of-users trace a few
+// floats per 10 s window — the arrivals themselves are regenerated from the
+// service seed at replay, so a run driven by its own recording reproduces
+// the original request stream exactly (see TestTraceRecordReplayRoundTrip).
+type Trace struct {
+	// WindowMS is the recording granularity in simulated milliseconds; a
+	// replaying service must use the same window.
+	WindowMS int64 `json:"window_ms"`
+	// Classes names the columns of Rates, in order; a replaying service's
+	// class list must match by name.
+	Classes []string `json:"classes"`
+	// Rates[w][c] is class c's aggregate arrival rate (requests/s) during
+	// window w. Replay cycles when the run outlasts the trace.
+	Rates [][]float64 `json:"rates"`
+}
+
+// Validate reports structural problems.
+func (tr *Trace) Validate() error {
+	if tr.WindowMS <= 0 {
+		return fmt.Errorf("service: trace window %d ms must be positive", tr.WindowMS)
+	}
+	if len(tr.Classes) == 0 {
+		return fmt.Errorf("service: trace has no classes")
+	}
+	seen := make(map[string]bool, len(tr.Classes))
+	for _, name := range tr.Classes {
+		if name == "" {
+			return fmt.Errorf("service: trace has an unnamed class")
+		}
+		if seen[name] {
+			return fmt.Errorf("service: trace class %q duplicated", name)
+		}
+		seen[name] = true
+	}
+	if len(tr.Rates) == 0 {
+		return fmt.Errorf("service: trace has no windows")
+	}
+	for w, row := range tr.Rates {
+		if len(row) != len(tr.Classes) {
+			return fmt.Errorf("service: trace window %d has %d rates for %d classes",
+				w, len(row), len(tr.Classes))
+		}
+		for c, r := range row {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return fmt.Errorf("service: trace window %d class %s rate %v invalid",
+					w, tr.Classes[c], r)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the trace as indented JSON (the committed golden-trace
+// format — stable bytes for a fixed trace).
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	buf, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadTrace parses and validates a trace previously written with WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("service: decoding trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// window returns the per-class rates for window index w, cycling past the
+// recorded horizon (the workload.Schedule idiom: a one-day trace loops).
+func (tr *Trace) window(w int64) []float64 {
+	return tr.Rates[int(w%int64(len(tr.Rates)))]
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{WindowMS: 10000, Classes: []string{"a", "b"},
+		Rates: [][]float64{{1, 2}, {3, 4}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []Trace{
+		{WindowMS: 0, Classes: []string{"a"}, Rates: [][]float64{{1}}},
+		{WindowMS: 10000, Classes: nil, Rates: [][]float64{{}}},
+		{WindowMS: 10000, Classes: []string{""}, Rates: [][]float64{{1}}},
+		{WindowMS: 10000, Classes: []string{"a", "a"}, Rates: [][]float64{{1, 2}}},
+		{WindowMS: 10000, Classes: []string{"a"}, Rates: nil},
+		{WindowMS: 10000, Classes: []string{"a"}, Rates: [][]float64{{1, 2}}},
+		{WindowMS: 10000, Classes: []string{"a"}, Rates: [][]float64{{-1}}},
+		{WindowMS: 10000, Classes: []string{"a"}, Rates: [][]float64{{math.NaN()}}},
+		{WindowMS: 10000, Classes: []string{"a"}, Rates: [][]float64{{math.Inf(1)}}},
+	}
+	for i, tr := range bad {
+		if tr.Validate() == nil {
+			t.Errorf("bad trace %d accepted: %+v", i, tr)
+		}
+	}
+}
+
+func TestTraceReplayMismatchesRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	classes := []Class{{Name: "c", Kind: Steady, Users: 100, RPSPerUser: 1}}
+	tr := &Trace{WindowMS: 5000, Classes: []string{"c"}, Rates: [][]float64{{100}}}
+	cfg := Config{Classes: classes, Window: 10 * sim.Second, Replay: tr}
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("window-mismatched trace accepted")
+	}
+	tr = &Trace{WindowMS: 10000, Classes: []string{"other"}, Rates: [][]float64{{100}}}
+	cfg.Replay = tr
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("name-mismatched trace accepted")
+	}
+	tr = &Trace{WindowMS: 10000, Classes: []string{"c", "d"}, Rates: [][]float64{{100, 1}}}
+	cfg.Replay = tr
+	if _, err := New(eng, 1, cfg, servers); err == nil {
+		t.Error("count-mismatched trace accepted")
+	}
+}
+
+// traceScenario is the fixed record/replay scenario: a bursty three-class mix
+// over two servers, with BurstStartProb high enough that flash crowds ignite
+// within the 12-window horizon.
+func traceScenario() Config {
+	return Config{
+		Classes: []Class{
+			{Name: "steady", Kind: Steady, Users: 3000, RPSPerUser: 0.5},
+			{Name: "diurnal", Kind: Diurnal, Users: 1500, RPSPerUser: 0.5,
+				PeakHour: 14, Amplitude: 0.4},
+			{Name: "flash", Kind: Flash, Users: 800, RPSPerUser: 0.5,
+				BurstMult: 4, BurstStartProb: 0.3, BurstStopProb: 0.3},
+		},
+		Ops:    []Op{{Name: "GET", BaseServiceUS: 50, SLOUS: 1000}, {Name: "SET", BaseServiceUS: 60, SLOUS: 1200}},
+		Window: 10 * sim.Second,
+	}
+}
+
+func runTraceScenario(t *testing.T, cfg Config) (*Service, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	servers := newServers(t, 2)
+	s, err := New(eng, 77, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(2 * sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	return s, eng
+}
+
+// A service replaying its own recording (same seed) reproduces the original
+// request stream exactly — counts, misses and quantiles all match, even
+// through a JSON serialization round trip.
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	cfg := traceScenario()
+	cfg.Record = true
+	rec, _ := runTraceScenario(t, cfg)
+	tr := rec.Recorded()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	if len(tr.Rates) != 12 {
+		t.Fatalf("recorded %d windows, want 12", len(tr.Rates))
+	}
+	// The flash class must actually have ignited, or the test is vacuous.
+	burst := false
+	base := cfg.Classes[2].BaseRPS()
+	for _, row := range tr.Rates {
+		if row[2] > base*1.5 {
+			burst = true
+		}
+	}
+	if !burst {
+		t.Fatal("flash class never ignited over 12 windows; trace replay untested")
+	}
+
+	// Serialize and parse back: JSON float64 round-trips exactly.
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := traceScenario()
+	cfg2.Replay = parsed
+	rep, _ := runTraceScenario(t, cfg2)
+
+	for ci := range cfg.Classes {
+		if a, b := rec.ClassServed(ci), rep.ClassServed(ci); a != b {
+			t.Errorf("class %d served %d recorded vs %d replayed", ci, a, b)
+		}
+		if a, b := rec.ClassSLOMissRate(ci), rep.ClassSLOMissRate(ci); a != b {
+			t.Errorf("class %d miss rate %v recorded vs %v replayed", ci, a, b)
+		}
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a, b := rec.AggregateLatencyQuantileUS(q), rep.AggregateLatencyQuantileUS(q); a != b {
+			t.Errorf("p%v %v recorded vs %v replayed", q*100, a, b)
+		}
+	}
+}
+
+// Replay cycles past the recorded horizon instead of running dry.
+func TestTraceReplayCycles(t *testing.T) {
+	eng := sim.NewEngine()
+	servers := newServers(t, 1)
+	tr := &Trace{WindowMS: 10000, Classes: []string{"c"},
+		Rates: [][]float64{{200}, {0}}} // alternating on/off windows
+	cfg := Config{
+		Classes: []Class{{Name: "c", Kind: Steady, Users: 100, RPSPerUser: 1}},
+		Ops:     []Op{{Name: "GET", BaseServiceUS: 50}},
+		Window:  10 * sim.Second,
+		Replay:  tr,
+	}
+	s, err := New(eng, 5, cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := eng.RunUntil(sim.Time(sim.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// 6 windows, 3 active at 200 rps: ≈ 6000 arrivals.
+	got := float64(s.TotalServed())
+	if math.Abs(got-6000) > 5*math.Sqrt(6000) {
+		t.Errorf("cycled replay served %.0f, want ≈6000", got)
+	}
+}
+
+// The committed golden trace pins the recorded byte format and the class-rate
+// streams (diurnal curve + MMPP phases under the fixed seed). Regenerate with
+// `go test ./internal/service/ -run TestGoldenTrace -update`.
+func TestGoldenTrace(t *testing.T) {
+	cfg := traceScenario()
+	cfg.Record = true
+	rec, _ := runTraceScenario(t, cfg)
+	var buf bytes.Buffer
+	if _, err := rec.Recorded().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("recorded trace diverged from golden file %s:\n got: %s\nwant: %s\n(run with -update to regenerate)",
+			path, strings.TrimSpace(buf.String()), strings.TrimSpace(string(want)))
+	}
+	// The golden file itself must parse and replay cleanly.
+	tr, err := ReadTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := traceScenario()
+	cfg2.Replay = tr
+	rep, _ := runTraceScenario(t, cfg2)
+	if rep.TotalServed() != rec.TotalServed() {
+		t.Errorf("golden replay served %d, recording served %d",
+			rep.TotalServed(), rec.TotalServed())
+	}
+}

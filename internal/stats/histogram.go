@@ -63,6 +63,27 @@ func (h *LogHistogram) Add(v float64) {
 	}
 }
 
+// Merge adds o's recorded population into h. Both histograms must share the
+// same range and bucket count; the service substrate keeps one histogram per
+// client class × operation and merges on read to answer aggregate quantiles.
+func (h *LogHistogram) Merge(o *LogHistogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.min != o.min || h.max != o.max || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: merging log histograms with different layouts ([%v,%v]×%d vs [%v,%v]×%d)",
+			h.min, h.max, len(h.counts), o.min, o.max, len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.under += o.under
+	h.over += o.over
+	return nil
+}
+
 // Count returns the number of recorded values.
 func (h *LogHistogram) Count() int64 { return h.n }
 

@@ -319,7 +319,23 @@ func (g *Generator) tick(now sim.Time) {
 //	powerFrac         = (idle + (rated−idle)·utilization) / rated
 //
 // Experiments use it to set "light" and "heavy" workloads by target power.
+//
+// Degenerate inputs return 0 rather than a non-finite rate: ratedW == idleW
+// would divide by zero (+Inf jobs/minute would then poison every generator
+// window), and non-positive containers, duration or CPU have no physical
+// reading.
 func RateForPowerFraction(powerFrac, idleW, ratedW float64, containers int, meanDurMinutes, meanCPU float64) float64 {
+	if math.IsNaN(powerFrac) || math.IsNaN(idleW) || math.IsNaN(ratedW) ||
+		math.IsInf(ratedW, 0) || math.IsInf(idleW, 0) {
+		return 0
+	}
+	if ratedW <= idleW || idleW < 0 {
+		return 0
+	}
+	if containers <= 0 || meanDurMinutes <= 0 || meanCPU <= 0 ||
+		math.IsNaN(meanDurMinutes) || math.IsNaN(meanCPU) {
+		return 0
+	}
 	idleFrac := idleW / ratedW
 	if powerFrac < idleFrac {
 		return 0

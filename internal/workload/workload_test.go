@@ -260,6 +260,38 @@ func TestRateForPowerFraction(t *testing.T) {
 	}
 }
 
+// Degenerate inputs must yield rate 0, never ±Inf or NaN — a spec with
+// ratedW == idleW used to divide by zero and ask for an infinite job rate.
+func TestRateForPowerFractionDegenerateInputs(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name              string
+		frac, idle, rated float64
+		containers        int
+		meanDur, meanCPU  float64
+	}{
+		{"rated equals idle", 0.8, 250, 250, 16, 9, 1},
+		{"rated below idle", 0.8, 250, 150, 16, 9, 1},
+		{"negative idle", 0.8, -10, 250, 16, 9, 1},
+		{"NaN fraction", nan, 150, 250, 16, 9, 1},
+		{"NaN idle", 0.8, nan, 250, 16, 9, 1},
+		{"NaN rated", 0.8, 150, nan, 16, 9, 1},
+		{"Inf rated", 0.8, 150, inf, 16, 9, 1},
+		{"Inf idle", 0.8, inf, 250, 16, 9, 1},
+		{"zero containers", 0.8, 150, 250, 0, 9, 1},
+		{"zero duration", 0.8, 150, 250, 16, 0, 1},
+		{"NaN duration", 0.8, 150, 250, 16, nan, 1},
+		{"zero CPU", 0.8, 150, 250, 16, 9, 0},
+		{"NaN CPU", 0.8, 150, 250, 16, 9, nan},
+	}
+	for _, c := range cases {
+		got := RateForPowerFraction(c.frac, c.idle, c.rated, c.containers, c.meanDur, c.meanCPU)
+		if got != 0 {
+			t.Errorf("%s: rate %v, want 0", c.name, got)
+		}
+	}
+}
+
 // Property: modulated rate is never negative regardless of noise state.
 func TestRateNonNegativeProperty(t *testing.T) {
 	f := func(seed uint64, minutes uint16) bool {
