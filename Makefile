@@ -4,10 +4,11 @@
 # state between parallel run units would first show up).
 .PHONY: tier1 build lint vet test race race-shuffle fuzz fuzz-smoke chaos \
 	bench-runner bench-scale bench-scale-quick bench-check gridstorm \
-	whatif whatif-smoke tournament tournament-smoke fig11scale fig11-smoke
+	whatif whatif-smoke tournament tournament-smoke fig11scale fig11-smoke \
+	fed-smoke
 
 tier1: build lint race race-shuffle bench-scale-quick fuzz-smoke whatif-smoke \
-	tournament-smoke fig11-smoke
+	tournament-smoke fig11-smoke fed-smoke
 
 build:
 	go build ./...
@@ -96,6 +97,13 @@ fig11-smoke:
 # Fault-injection drill: naive vs resilient controller under the same storm.
 chaos:
 	go run ./cmd/ampere-exp -exp chaos -quick
+
+# Tier-1's federation smoke: byte-identity of the federated tick across
+# shard worker counts (4 small DCs with a mid-run headroom shift), plus the
+# 4-DC × 400-server quick federated scale run end to end.
+fed-smoke:
+	go test ./internal/federate/ -count=1
+	go test ./internal/experiment/ -run TestFedScaleSmoke -count=1
 
 # Weak-scaling baseline: the BenchmarkScale{Sweep,Placement,ControllerTick}
 # family at 400 / 10k / 100k servers, recorded to BENCH_scale.json for

@@ -422,9 +422,12 @@ func runAblations(w io.Writer, rc runCtx) error {
 	return nil
 }
 
-// runScale runs the weak-scaling sweep. Sizes run serially regardless of
-// -parallel (each size's wall-clock measurement needs the machine to
-// itself); wall timings go to stderr so stdout stays deterministic.
+// runScale runs the weak-scaling sweep, then the federated scale run (a
+// million servers across 8 DCs; quick: 1,600 across 4). The single-DC sizes
+// run serially regardless of -parallel (each size's wall-clock measurement
+// needs the machine to itself); the federated half honors -parallel as its
+// shard worker count and -ctl-parallel for each DC controller's plan phase,
+// neither of which changes stdout. Wall timings go to stderr.
 func runScale(w io.Writer, rc runCtx) error {
 	cfg := experiment.DefaultScale()
 	if rc.quick {
@@ -438,6 +441,21 @@ func runScale(w io.Writer, rc runCtx) error {
 	}
 	experiment.FormatScale(w, rows)
 	experiment.FormatScaleTiming(os.Stderr, rows, cfg.Measure)
+
+	fcfg := experiment.DefaultFedScale()
+	if rc.quick {
+		fcfg = experiment.QuickFedScale()
+	}
+	fcfg.Seed = pick(rc.seed, fcfg.Seed)
+	fcfg.Workers = rc.parallel
+	fcfg.CtlParallel = rc.ctlParallel
+	fres, err := experiment.RunFedScale(fcfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	experiment.FormatFedScale(w, fres)
+	experiment.FormatFedScaleTiming(os.Stderr, fres)
 	return nil
 }
 

@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"slices"
 	"sync"
 	"time"
 
@@ -21,6 +20,29 @@ import (
 type PowerReader interface {
 	ServerPower(id cluster.ServerID) (float64, bool)
 	GroupPower(ids []cluster.ServerID) (float64, bool)
+}
+
+// SnapshotPowerReader is an optional PowerReader fast path: PowerSnapshot
+// exposes the latest per-server sample slice, indexed by ServerID, valid
+// until the next sweep. The controller's ranking refresh reads every domain
+// member per tick; going through the slice instead of one interface call per
+// server is a large share of the tick at 100k+ servers. The returned slice
+// is read-only for the caller and must only be mutated by the reader between
+// control ticks (monitor sweeps and controller steps are serialized on the
+// simulation event loop).
+type SnapshotPowerReader interface {
+	PowerSnapshot() (vals []float64, ok bool)
+}
+
+// RangePowerReader is an optional PowerReader fast path for contiguous
+// server-ID ranges: RangePower(lo, hi) must return exactly what
+// GroupPower over the ascending ID slice [lo..hi] would — bit-identical
+// float summation order — letting the reader serve aligned ranges from
+// maintained aggregates in O(1). Production domains are rows, which are
+// contiguous ID ranges, so the per-tick group read stops re-summing the
+// domain entirely.
+type RangePowerReader interface {
+	RangePower(lo, hi cluster.ServerID) (float64, bool)
 }
 
 // FreezeAPI is the controller's entire interface to the job scheduler — the
@@ -281,8 +303,14 @@ type domainState struct {
 	et      EtEstimator
 	trainer TrainableEt // non-nil when the controller trains Et online
 	hourly  *HourlyEt   // ds.et when it is the paper's hourly estimator
-	frozen  map[cluster.ServerID]bool
+	frozen  frozenSet
 	stats   DomainStats
+
+	// contig marks a domain whose Servers are one ascending contiguous ID
+	// range [loID, hiID] (every production row is); such domains read group
+	// power through the RangePowerReader fast path when available.
+	contig     bool
+	loID, hiID cluster.ServerID
 
 	// Effective-budget state (budget.go). budget is the wattage the control
 	// law normalizes against this tick; budgetPrev stages the previous value
@@ -370,9 +398,14 @@ type tickPlan struct {
 // FreezeAPI. Everything it needs to run can be rebuilt after a crash (see
 // Resync), matching the paper's stateless-controller claim.
 type Controller struct {
-	eng     *sim.Engine
-	reader  PowerReader
-	timed   TimedPowerReader // non-nil when reader carries sample times
+	eng    *sim.Engine
+	reader PowerReader
+	timed  TimedPowerReader // non-nil when reader carries sample times
+	// snap and ranged are the reader's optional fast paths (resolved once in
+	// New): the per-server snapshot slice behind the ranking refresh and the
+	// O(1) aggregate read for contiguous domains.
+	snap    SnapshotPowerReader
+	ranged  RangePowerReader
 	api     FreezeAPI
 	cfg     Config
 	res     ResilienceConfig // cfg.Resilience with defaults resolved
@@ -428,6 +461,8 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 		res: cfg.Resilience.withDefaults(cfg.Interval),
 		sel: sel, solver: solver, unf: unf}
 	ctl.timed, _ = reader.(TimedPowerReader)
+	ctl.snap, _ = reader.(SnapshotPowerReader)
+	ctl.ranged, _ = reader.(RangePowerReader)
 	if cfg.Selection == SelectRandom {
 		ctl.selRNG = sim.SubRNG(cfg.SelectionSeed, "controller-random-selection")
 	}
@@ -460,12 +495,21 @@ func New(eng *sim.Engine, reader PowerReader, api FreezeAPI, cfg Config, domains
 			index:      i,
 			kr:         d.Kr,
 			et:         d.Et,
-			frozen:     make(map[cluster.ServerID]bool),
+			frozen:     newFrozenSet(d.Servers),
 			pending:    make(map[cluster.ServerID]*pendingOp),
 			budget:     d.BudgetW,
 			budgetPrev: d.BudgetW,
 			maxBudgetW: maxBudgetFactor * d.BudgetW,
 		}
+		ds.contig = true
+		ds.loID = d.Servers[0]
+		for j, id := range d.Servers {
+			if id != ds.loID+cluster.ServerID(j) {
+				ds.contig = false
+				break
+			}
+		}
+		ds.hiID = ds.loID + cluster.ServerID(len(d.Servers)-1)
 		ds.budgetTargetW = ds.budget
 		if ds.kr == 0 {
 			ds.kr = cfg.DefaultKr
@@ -518,7 +562,7 @@ func (c *Controller) Stats(i int) DomainStats {
 func (c *Controller) FrozenCount(i int) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.domains[i].frozen)
+	return c.domains[i].frozen.len()
 }
 
 // FreezeRatio returns domain i's current realized freezing ratio.
@@ -526,7 +570,7 @@ func (c *Controller) FreezeRatio(i int) float64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	ds := c.domains[i]
-	return float64(len(ds.frozen)) / float64(len(ds.d.Servers))
+	return float64(ds.frozen.len()) / float64(len(ds.d.Servers))
 }
 
 // HourlyEt returns domain i's online Et estimator, or nil when the domain
@@ -540,14 +584,14 @@ func (c *Controller) Resync(isFrozen func(id cluster.ServerID) bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, ds := range c.domains {
-		ds.frozen = make(map[cluster.ServerID]bool)
+		ds.frozen.clear()
 		for id, op := range ds.pending {
 			op.cancelled = true
 			delete(ds.pending, id)
 		}
 		for _, id := range ds.d.Servers {
 			if isFrozen(id) {
-				ds.frozen[id] = true
+				ds.frozen.add(id)
 			}
 		}
 	}
@@ -575,6 +619,15 @@ func (c *Controller) Step(now sim.Time) {
 	}
 	if w := c.planWorkers(); w > 1 {
 		c.planNow = now
+		// Cap the fan-out at the machine: goroutines beyond GOMAXPROCS only
+		// add dispatch and switch overhead without any extra compute (the
+		// negative parallel scaling BENCH_scale.json used to show on
+		// single-core runners). The plan/apply two-phase structure — and with
+		// it byte-identity — is decided by the configured worker count, not
+		// the capped one, so results are unchanged.
+		if m := runtime.GOMAXPROCS(0); w > m {
+			w = m
+		}
 		c.loop.Run(w, len(c.domains))
 		for _, ds := range c.domains {
 			c.tickApply(ds, now)
@@ -617,7 +670,7 @@ func (c *Controller) planWorkers() int {
 func (c *Controller) planDomain(ds *domainState, now sim.Time) {
 	ds.plan = tickPlan{kind: planIdle}
 	c.planBudget(ds, now)
-	watts, at, ok := c.readGroup(ds.d.Servers, now)
+	watts, at, ok := c.readGroup(ds, now)
 	p := watts / ds.budget
 
 	if c.res.Disabled {
@@ -670,7 +723,7 @@ func (c *Controller) planDomain(ds *domainState, now sim.Time) {
 		ds.stats.FailSafeTicks++
 		ds.stats.Ticks++
 		ds.stats.PSum += ds.lastGoodP
-		ds.lastP, ds.lastTarget = ds.lastGoodP, len(ds.frozen)
+		ds.lastP, ds.lastTarget = ds.lastGoodP, ds.frozen.len()
 		ds.plan = tickPlan{kind: planHold}
 		return
 	}
@@ -744,16 +797,16 @@ func (c *Controller) planControl(ds *domainState, now sim.Time, pStat, pCtl floa
 		u = 0
 	}
 	nfreeze := int(u * float64(n)) // ⌊F(Pk/PM)·nk⌋
-	if degraded && nfreeze < len(ds.frozen) {
+	if degraded && nfreeze < ds.frozen.len() {
 		// Never release capacity on a forecast: the frozen set can only
 		// grow until a fresh sample proves the demand receded.
-		nfreeze = len(ds.frozen)
+		nfreeze = ds.frozen.len()
 	}
-	if nfreeze < len(ds.frozen) {
+	if nfreeze < ds.frozen.len() {
 		// The release path is policy-shaped: the UnfreezePolicy may hold
 		// capacity frozen or slow the drain, but never cuts below the
 		// solver's target (strategy.go). UnfreezeAll is the identity.
-		nfreeze = c.unf.target(p, et, len(ds.frozen), n, nfreeze)
+		nfreeze = c.unf.target(p, et, ds.frozen.len(), n, nfreeze)
 	}
 	ds.lastTarget = nfreeze
 	if nfreeze == 0 {
@@ -777,20 +830,44 @@ type serverPower struct {
 // phase will execute.
 func (c *Controller) stageReconcile(ds *domainState, nfreeze int, degraded bool) {
 	rank := ds.rank[:0]
-	for _, id := range ds.d.Servers {
-		p, ok := c.reader.ServerPower(id)
-		if !ok || math.IsNaN(p) || p < 0 {
-			// No sample, or a corrupt one: least preferred. NaN must not
-			// reach the comparators — it breaks ordering transitivity.
-			p = -1
+	if vals, ok := c.powerSnapshot(); ok {
+		// Snapshot fast path: one slice read per server instead of one
+		// interface call. The validity test is the same — a missing (out of
+		// range), NaN, or negative sample ranks least preferred — written as
+		// a single v >= 0 comparison, which NaN and negatives both fail.
+		for _, id := range ds.d.Servers {
+			p := -1.0
+			if int(id) >= 0 && int(id) < len(vals) {
+				if v := vals[id]; v >= 0 {
+					p = v
+				}
+			}
+			rank = append(rank, serverPower{id: id, power: p})
 		}
-		rank = append(rank, serverPower{id: id, power: p})
+	} else {
+		for _, id := range ds.d.Servers {
+			p, ok := c.reader.ServerPower(id)
+			if !ok || math.IsNaN(p) || p < 0 {
+				// No sample, or a corrupt one: least preferred. NaN must not
+				// reach the comparators — it breaks ordering transitivity.
+				p = -1
+			}
+			rank = append(rank, serverPower{id: id, power: p})
+		}
 	}
 	ds.rank = rank
 	ds.unfCands = ds.unfCands[:0]
 	ds.relCands = ds.relCands[:0]
 	ds.frzCands = ds.frzCands[:0]
 	c.sel.stage(c, ds, nfreeze, degraded)
+}
+
+// powerSnapshot resolves the reader's snapshot fast path for this tick.
+func (c *Controller) powerSnapshot() ([]float64, bool) {
+	if c.snap == nil {
+		return nil, false
+	}
+	return c.snap.PowerSnapshot()
 }
 
 // applyDomain executes the staged plan: scheduler API calls, frozen-set
@@ -809,29 +886,29 @@ func (c *Controller) applyDomain(ds *domainState, now sim.Time) {
 	case planReconcile:
 		target := ds.plan.target
 		for _, sp := range ds.unfCands {
-			if ds.frozen[sp.id] {
+			if ds.frozen.has(sp.id) {
 				c.unfreeze(ds, sp.id)
 			}
 		}
 		// Adjust the frozen count to exactly the target.
-		if len(ds.frozen) > target {
+		if ds.frozen.len() > target {
 			// Release the least-preferred frozen servers first
 			// (deterministic choice of the algorithm's "arbitrary" servers).
 			for _, sp := range ds.relCands {
-				if len(ds.frozen) <= target {
+				if ds.frozen.len() <= target {
 					break
 				}
-				if ds.frozen[sp.id] {
+				if ds.frozen.has(sp.id) {
 					c.unfreeze(ds, sp.id)
 				}
 			}
-		} else if len(ds.frozen) < target {
+		} else if ds.frozen.len() < target {
 			// Freeze the most-preferred members of S not yet frozen.
 			for _, sp := range ds.frzCands {
-				if len(ds.frozen) >= target {
+				if ds.frozen.len() >= target {
 					break
 				}
-				if !ds.frozen[sp.id] {
+				if !ds.frozen.has(sp.id) {
 					c.freeze(ds, sp.id)
 				}
 			}
@@ -855,7 +932,7 @@ func (c *Controller) freeze(ds *domainState, id cluster.ServerID) {
 		return
 	}
 	ds.consecAPIErr = 0
-	ds.frozen[id] = true
+	ds.frozen.add(id)
 	ds.stats.FreezeOps++
 }
 
@@ -871,21 +948,19 @@ func (c *Controller) unfreeze(ds *domainState, id cluster.ServerID) {
 		return
 	}
 	ds.consecAPIErr = 0
-	delete(ds.frozen, id)
+	ds.frozen.remove(id)
 	ds.stats.UnfreezeOps++
 }
 
 func (c *Controller) unfreezeAll(ds *domainState) {
-	if len(ds.frozen) == 0 {
+	if ds.frozen.len() == 0 {
 		return
 	}
 	// Reuse the domain's ID scratch: release-everything ticks recur on every
 	// demand trough, and rebuilding the slice each time was steady garbage.
-	ids := ds.idScratch[:0]
-	for id := range ds.frozen {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
+	// The bitmap iterates in ascending ID order, matching the sorted release
+	// order of the map-era code.
+	ids := ds.frozen.appendIDs(ds.idScratch[:0])
 	ds.idScratch = ids
 	for _, id := range ids {
 		c.unfreeze(ds, id)
@@ -893,7 +968,7 @@ func (c *Controller) unfreezeAll(ds *domainState) {
 }
 
 func (c *Controller) recordU(ds *domainState) {
-	u := float64(len(ds.frozen)) / float64(len(ds.d.Servers))
+	u := float64(ds.frozen.len()) / float64(len(ds.d.Servers))
 	ds.stats.USum += u
 	if u > ds.stats.UMax {
 		ds.stats.UMax = u

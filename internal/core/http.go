@@ -94,8 +94,8 @@ func (c *Controller) Status() []DomainStatus {
 			BudgetTargetW:    ds.budgetTargetW,
 			BudgetCurtailed:  ds.budget < ds.d.BudgetW,
 			Kr:               ds.kr,
-			Frozen:           len(ds.frozen),
-			FreezeRatio:      float64(len(ds.frozen)) / float64(len(ds.d.Servers)),
+			Frozen:           ds.frozen.len(),
+			FreezeRatio:      float64(ds.frozen.len()) / float64(len(ds.d.Servers)),
 			Ticks:            st.Ticks,
 			Violations:       st.Violations,
 			ControlledTicks:  st.ControlledTicks,
@@ -133,7 +133,7 @@ func (c *Controller) Healthz() Health {
 			LastSampleAgeMin:     -1,
 			DarkIntervals:        ds.dark,
 			ConsecutiveAPIErrors: ds.consecAPIErr,
-			Frozen:               len(ds.frozen),
+			Frozen:               ds.frozen.len(),
 			EffectiveBudgetW:     ds.budget,
 		}
 		if ds.haveGood {

@@ -123,10 +123,10 @@ func (c *Controller) registerCollectors(reg *obs.Registry) {
 		func(s DomainStats) int64 { return s.Recoveries })
 
 	gauge("ampere_frozen_servers", "Servers currently frozen.",
-		func(ds *domainState) float64 { return float64(len(ds.frozen)) })
+		func(ds *domainState) float64 { return float64(ds.frozen.len()) })
 	gauge("ampere_freeze_ratio", "Current realized freezing ratio u.",
 		func(ds *domainState) float64 {
-			return float64(len(ds.frozen)) / float64(len(ds.d.Servers))
+			return float64(ds.frozen.len()) / float64(len(ds.d.Servers))
 		})
 	gauge("ampere_power_norm", "Last observed power normalized to the budget.",
 		func(ds *domainState) float64 { return sanitize(ds.lastP) })
@@ -237,7 +237,7 @@ func (c *Controller) decisionEvent(ds *domainState, now sim.Time, before DomainS
 		Et:           sanitize(ds.lastEt),
 		Action:       action,
 		TargetFrozen: ds.lastTarget,
-		Frozen:       len(ds.frozen),
+		Frozen:       ds.frozen.len(),
 		Froze:        froze,
 		Unfroze:      unfroze,
 		APIErrors:    s.APIErrors - before.APIErrors,
@@ -265,7 +265,7 @@ func obsBudgetEvent(ds *domainState, now sim.Time) obs.Event {
 		BudgetW:       sanitize(ds.budget),
 		OldBudgetW:    sanitize(ds.budgetPrev),
 		TargetBudgetW: sanitize(ds.budgetTargetW),
-		Frozen:        len(ds.frozen),
+		Frozen:        ds.frozen.len(),
 		Health:        ds.health(),
 	}
 }

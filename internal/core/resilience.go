@@ -135,7 +135,7 @@ func (c *Controller) scheduleRetry(ds *domainState, id cluster.ServerID, unfreez
 			return
 		}
 		delete(ds.pending, id)
-		if !unfreeze && len(ds.frozen) >= int(c.cfg.MaxFreezeRatio*float64(len(ds.d.Servers))) {
+		if !unfreeze && ds.frozen.len() >= int(c.cfg.MaxFreezeRatio*float64(len(ds.d.Servers))) {
 			// The tick path met the freeze target without this server; going
 			// through now would breach the operational freeze cap.
 			return
@@ -151,10 +151,10 @@ func (c *Controller) scheduleRetry(ds *domainState, id cluster.ServerID, unfreez
 		ds.stats.RetrySuccesses++
 		ds.consecAPIErr = 0
 		if unfreeze {
-			delete(ds.frozen, id)
+			ds.frozen.remove(id)
 			ds.stats.UnfreezeOps++
 		} else {
-			ds.frozen[id] = true
+			ds.frozen.add(id)
 			ds.stats.FreezeOps++
 		}
 	})
@@ -173,14 +173,22 @@ func (c *Controller) cancelPendingUnfreezes(ds *domainState) {
 
 // readGroup returns the domain's latest group power together with the time
 // the sample was taken. Readers that do not implement TimedPowerReader are
-// assumed fresh.
-func (c *Controller) readGroup(ids []cluster.ServerID, now sim.Time) (watts float64, at sim.Time, ok bool) {
-	w, ok := c.reader.GroupPower(ids)
-	if !ok {
+// assumed fresh. Contiguous domains (rows) go through the RangePowerReader
+// fast path when the reader offers one; its contract (controller.go) makes
+// the value bit-identical to the GroupPower sum.
+func (c *Controller) readGroup(ds *domainState, now sim.Time) (watts float64, at sim.Time, ok bool) {
+	var w float64
+	var wok bool
+	if c.ranged != nil && ds.contig {
+		w, wok = c.ranged.RangePower(ds.loID, ds.hiID)
+	} else {
+		w, wok = c.reader.GroupPower(ds.d.Servers)
+	}
+	if !wok {
 		return 0, 0, false
 	}
 	if c.timed != nil {
-		if t, tok := c.timed.GroupSampleTime(ids); tok {
+		if t, tok := c.timed.GroupSampleTime(ds.d.Servers); tok {
 			return w, t, true
 		}
 	}

@@ -98,6 +98,80 @@ func selectTopKDepth(sp []serverPower, k int, cmp func(a, b serverPower) int, de
 	return sp[k-1]
 }
 
+// lessPref reports whether a strictly precedes b in freeze preference:
+// power-descending when hot, power-ascending otherwise, ties by ascending ID.
+// It is the branch form of cmpHot/cmpCold — small enough to inline, which
+// matters because the quickselect pass below performs ~2n comparisons per
+// controlled tick per domain and an indirect comparator call per element was
+// about a third of the whole controller tick at 100k+ servers. The hot flag
+// is loop-invariant at every call site, so the branch predicts perfectly.
+func lessPref(a, b serverPower, hot bool) bool {
+	if a.power != b.power {
+		if hot {
+			return a.power > b.power
+		}
+		return a.power < b.power
+	}
+	return a.id < b.id
+}
+
+// selectTopKPref is selectTopK specialized to the two ranked freeze
+// preferences (hot=true ⇒ cmpHot order, hot=false ⇒ cmpCold order), with the
+// same introselect depth guard and the same boundary semantics. The generic
+// selectTopK remains for arbitrary comparators; results are identical — the
+// equivalence test in selection_topk_test.go pins it.
+func selectTopKPref(sp []serverPower, k int, hot bool) serverPower {
+	depth := 2 * bits.Len(uint(len(sp)))
+	lo, hi := 0, len(sp)-1
+	for lo < hi {
+		if depth == 0 {
+			cmp := cmpHot
+			if !hot {
+				cmp = cmpCold
+			}
+			slices.SortFunc(sp[lo:hi+1], cmp)
+			break
+		}
+		depth--
+		p := partitionPrefFast(sp, lo, hi, hot)
+		switch {
+		case p == k-1:
+			return sp[p]
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return sp[k-1]
+}
+
+// partitionPrefFast is partitionPref with the comparator devirtualized into
+// lessPref calls.
+func partitionPrefFast(sp []serverPower, lo, hi int, hot bool) int {
+	mid := lo + (hi-lo)/2
+	if lessPref(sp[mid], sp[lo], hot) {
+		sp[mid], sp[lo] = sp[lo], sp[mid]
+	}
+	if lessPref(sp[hi], sp[mid], hot) {
+		sp[hi], sp[mid] = sp[mid], sp[hi]
+		if lessPref(sp[mid], sp[lo], hot) {
+			sp[mid], sp[lo] = sp[lo], sp[mid]
+		}
+	}
+	sp[mid], sp[hi] = sp[hi], sp[mid]
+	pivot := sp[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if lessPref(sp[j], pivot, hot) {
+			sp[i], sp[j] = sp[j], sp[i]
+			i++
+		}
+	}
+	sp[i], sp[hi] = sp[hi], sp[i]
+	return i
+}
+
 // partitionPref is a Lomuto partition of sp[lo:hi+1] around a median-of-three
 // pivot, returning the pivot's final index.
 func partitionPref(sp []serverPower, lo, hi int, cmp func(a, b serverPower) int) int {

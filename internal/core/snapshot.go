@@ -102,11 +102,9 @@ func (c *Controller) ExportState() []DomainSnapshot {
 
 			Stats: ds.stats,
 		}
-		snap.Frozen = make([]cluster.ServerID, 0, len(ds.frozen))
-		for id := range ds.frozen {
-			snap.Frozen = append(snap.Frozen, id)
-		}
-		slices.Sort(snap.Frozen)
+		// The frozen bitmap iterates in ascending ID order — already the
+		// sorted order the snapshot promises.
+		snap.Frozen = ds.frozen.appendIDs(make([]cluster.ServerID, 0, ds.frozen.len()))
 		snap.Pending = make([]PendingOpState, 0, len(ds.pending))
 		for id, op := range ds.pending {
 			if op.cancelled {

@@ -42,8 +42,13 @@ type Selector interface {
 // rankedSelector is a comparator-ordered selection policy (the paper's
 // hottest-first and the coldest-first ablation). stability enables the §3.5
 // augmentation, which is only meaningful for a power-descending preference.
+// hot mirrors cmp for the specialized quickselect and membership tests on the
+// per-server hot path (selection.go's lessPref), where the indirect
+// comparator calls were a third of the tick at 100k+ servers; cmp/cmpRel
+// still order the (small) staged candidate lists.
 type rankedSelector struct {
 	name      string
+	hot       bool                       // hottest-first preference
 	cmp       func(a, b serverPower) int // freeze-preference order
 	cmpRel    func(a, b serverPower) int // release (reverse) order
 	stability bool
@@ -66,13 +71,18 @@ func (s *rankedSelector) stage(c *Controller, ds *domainState, nfreeze int, degr
 	// than rstable × the coldest member of the top set. A frozen server
 	// inside S is not cycled out merely because fresh jobs elsewhere
 	// overtook it.
-	b := selectTopK(rank, nfreeze, s.cmp)
+	b := selectTopKPref(rank, nfreeze, s.hot)
 	pThreshold := c.cfg.RStable * b.power
+	// Membership in S: cmp(sp, b) <= 0, i.e. sp at-or-before the boundary —
+	// equivalently NOT b strictly before sp (the comparators are a strict
+	// total order), written through the inlinable lessPref instead of the
+	// comparator func value.
+	hot, stability := s.hot, s.stability
 	inS := func(sp serverPower) bool {
-		if s.cmp(sp, b) <= 0 {
+		if !lessPref(b, sp, hot) {
 			return true // within the top-nfreeze set
 		}
-		return s.stability && sp.power > pThreshold
+		return stability && sp.power > pThreshold
 	}
 
 	// Unfreeze members that fell out of S (their power dropped enough).
@@ -80,27 +90,27 @@ func (s *rankedSelector) stage(c *Controller, ds *domainState, nfreeze int, degr
 	// servers on stale data is churn without information.
 	if !degraded {
 		for _, sp := range rank {
-			if ds.frozen[sp.id] && !inS(sp) {
+			if ds.frozen.has(sp.id) && !inS(sp) {
 				ds.unfCands = append(ds.unfCands, sp)
 			}
 		}
 		slices.SortFunc(ds.unfCands, s.cmp)
 	}
-	if len(ds.frozen) > nfreeze {
+	if ds.frozen.len() > nfreeze {
 		// The release branch may run (API failures in the unfreeze pass can
 		// leave any count between frozen−|unfCands| and frozen): stage every
 		// currently frozen server in release order; apply re-checks live.
 		for _, sp := range rank {
-			if ds.frozen[sp.id] {
+			if ds.frozen.has(sp.id) {
 				ds.relCands = append(ds.relCands, sp)
 			}
 		}
 		slices.SortFunc(ds.relCands, s.cmpRel)
 	}
-	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
+	if ds.frozen.len()-len(ds.unfCands) < nfreeze {
 		// The freeze branch may run: stage S ∖ frozen in preference order.
 		for _, sp := range rank {
-			if !ds.frozen[sp.id] && inS(sp) {
+			if !ds.frozen.has(sp.id) && inS(sp) {
 				ds.frzCands = append(ds.frzCands, sp)
 			}
 		}
@@ -125,21 +135,21 @@ func (randomSelector) stage(c *Controller, ds *domainState, nfreeze int, degrade
 	})
 	if !degraded {
 		for _, sp := range rank[nfreeze:] {
-			if ds.frozen[sp.id] {
+			if ds.frozen.has(sp.id) {
 				ds.unfCands = append(ds.unfCands, sp)
 			}
 		}
 	}
-	if len(ds.frozen) > nfreeze {
+	if ds.frozen.len() > nfreeze {
 		for i := len(rank) - 1; i >= 0; i-- {
-			if ds.frozen[rank[i].id] {
+			if ds.frozen.has(rank[i].id) {
 				ds.relCands = append(ds.relCands, rank[i])
 			}
 		}
 	}
-	if len(ds.frozen)-len(ds.unfCands) < nfreeze {
+	if ds.frozen.len()-len(ds.unfCands) < nfreeze {
 		for _, sp := range rank[:nfreeze] {
-			if !ds.frozen[sp.id] {
+			if !ds.frozen.has(sp.id) {
 				ds.frzCands = append(ds.frzCands, sp)
 			}
 		}
@@ -147,8 +157,8 @@ func (randomSelector) stage(c *Controller, ds *domainState, nfreeze int, degrade
 }
 
 var (
-	selHottest = &rankedSelector{name: "hottest", cmp: cmpHot, cmpRel: cmpHotRev, stability: true}
-	selColdest = &rankedSelector{name: "coldest", cmp: cmpCold, cmpRel: cmpColdRev, stability: false}
+	selHottest = &rankedSelector{name: "hottest", hot: true, cmp: cmpHot, cmpRel: cmpHotRev, stability: true}
+	selColdest = &rankedSelector{name: "coldest", hot: false, cmp: cmpCold, cmpRel: cmpColdRev, stability: false}
 	selRandom  = randomSelector{}
 )
 

@@ -1,0 +1,74 @@
+package federate
+
+import "fmt"
+
+// regionNames labels up to eight simulated regions; larger families wrap
+// with a numeric suffix.
+var regionNames = []string{
+	"us-east", "us-west", "eu-west", "eu-north",
+	"ap-south", "ap-northeast", "sa-east", "af-south",
+}
+
+func regionName(i int) string {
+	if i < len(regionNames) {
+		return regionNames[i]
+	}
+	return fmt.Sprintf("%s-%d", regionNames[i%len(regionNames)], i/len(regionNames))
+}
+
+// Family returns a named geo-distributed DC family of dcs data centers with
+// rowsPerDC 400-server rows each. The families are the scenario axis of the
+// federated experiments:
+//
+//   - "uniform": identical DCs — same load, same peak hour. The coordinator
+//     should find nothing to move; a null-hypothesis control.
+//   - "follow-the-sun": equal provisioning but diurnal peaks spread evenly
+//     around the 24-hour clock (time-zone offsets), so at any moment some
+//     DCs are peaking while others idle — the DCcluster-Opt setting where
+//     inter-DC headroom reallocation pays.
+//   - "hotspot": one DC runs near saturation while the rest are lightly
+//     loaded — steady-state pressure that the water-fill resolves by
+//     draining the idle floors toward the hot site's cap.
+//
+// Every family pins two containers per server at build time (long-running
+// service load), seeding the fleet through the batched scheduler API.
+func Family(name string, dcs, rowsPerDC int) ([]DCSpec, error) {
+	if dcs < 1 {
+		return nil, fmt.Errorf("federate: family needs ≥1 DC, got %d", dcs)
+	}
+	if rowsPerDC < 1 {
+		return nil, fmt.Errorf("federate: family needs ≥1 row per DC, got %d", rowsPerDC)
+	}
+	out := make([]DCSpec, dcs)
+	for i := range out {
+		out[i] = DCSpec{
+			Name:             regionName(i),
+			Rows:             rowsPerDC,
+			RowServers:       400,
+			TargetFrac:       0.70,
+			PeakHour:         14,
+			ReservePerServer: 2,
+		}
+	}
+	switch name {
+	case "uniform":
+	case "follow-the-sun":
+		for i := range out {
+			out[i].TargetFrac = 0.72
+			out[i].DiurnalAmplitude = 0.30
+			h := (14 + i*24/dcs) % 24
+			if h == 0 {
+				h = 24 // same phase; 0 would read as "unset" and fall back to the default
+			}
+			out[i].PeakHour = float64(h)
+		}
+	case "hotspot":
+		for i := range out {
+			out[i].TargetFrac = 0.55
+		}
+		out[0].TargetFrac = 0.92
+	default:
+		return nil, fmt.Errorf("federate: unknown family %q (uniform, follow-the-sun, hotspot)", name)
+	}
+	return out, nil
+}

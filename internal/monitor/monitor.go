@@ -317,6 +317,42 @@ func (m *Monitor) GroupPower(ids []cluster.ServerID) (float64, bool) {
 	return total, true
 }
 
+// PowerSnapshot exposes the latest per-server sample slice, indexed by
+// ServerID — core.SnapshotPowerReader's fast path behind the controller's
+// per-tick ranking refresh. The slice is owned by the monitor and mutated
+// only during Sweep; callers must treat it as read-only and not retain it
+// across sweeps.
+func (m *Monitor) PowerSnapshot() ([]float64, bool) {
+	return m.lastServer, m.haveSample
+}
+
+// RangePower returns the latest total power of the contiguous server-ID
+// range [lo, hi], satisfying core.RangePowerReader: the result is
+// bit-identical to GroupPower over the ascending ID slice. Row- and
+// rack-aligned ranges are served O(1) from the aggregates maintained during
+// Sweep, which accumulates them in the same ascending per-server order as a
+// re-sum (rows are contiguous ID ranges and racks contiguous sub-ranges, see
+// cluster.New's layout); anything else is summed directly from the snapshot.
+func (m *Monitor) RangePower(lo, hi cluster.ServerID) (float64, bool) {
+	if !m.haveSample || lo < 0 || hi < lo || int(hi) >= len(m.lastServer) {
+		return 0, false
+	}
+	perRack := m.c.Spec.ServersPerRack
+	perRow := m.c.Spec.RacksPerRow * perRack
+	n := int(hi-lo) + 1
+	if n == perRow && int(lo)%perRow == 0 {
+		return m.lastRow[int(lo)/perRow], true
+	}
+	if n == perRack && int(lo)%perRack == 0 {
+		return m.lastRack[int(lo)/perRack], true
+	}
+	total := 0.0
+	for _, v := range m.lastServer[lo : hi+1] {
+		total += v
+	}
+	return total, true
+}
+
 // LastSampleTime returns the time of the latest sweep.
 func (m *Monitor) LastSampleTime() (sim.Time, bool) { return m.lastTime, m.haveSample }
 

@@ -26,6 +26,7 @@ type Loop struct {
 	body    func(int)
 	next    atomic.Int64
 	n       int64
+	chunk   int64
 	wg      sync.WaitGroup
 	pan     atomic.Pointer[loopPanic]
 	wake    chan struct{}
@@ -64,6 +65,16 @@ func (l *Loop) Run(workers, n int) {
 		return
 	}
 	l.n = int64(n)
+	// Claim indices in chunks: one atomic add per chunk instead of per index
+	// amortizes the cross-core cacheline contention on the cursor, which
+	// dominated dispatch cost for cheap bodies at large n (the controller
+	// fans one plan call per domain — thousands at data-center scale). Eight
+	// chunks per worker keeps the tail imbalance under ~1/8 of a worker's
+	// share while cutting cursor traffic by the chunk factor.
+	l.chunk = int64(n / (workers * 8))
+	if l.chunk < 1 {
+		l.chunk = 1
+	}
 	l.next.Store(0)
 	helpers := workers - 1
 	for l.spawned < helpers {
@@ -89,15 +100,21 @@ func (l *Loop) idleWorker() {
 	}
 }
 
-// stride claims indices until the range (or the loop, after a panic) is
-// exhausted.
+// stride claims chunks of indices until the range (or the loop, after a
+// panic) is exhausted.
 func (l *Loop) stride() {
 	for l.pan.Load() == nil {
-		i := l.next.Add(1) - 1
+		i := l.next.Add(l.chunk) - l.chunk
 		if i >= l.n {
 			return
 		}
-		l.call(int(i))
+		end := i + l.chunk
+		if end > l.n {
+			end = l.n
+		}
+		for ; i < end && l.pan.Load() == nil; i++ {
+			l.call(int(i))
+		}
 	}
 }
 

@@ -1,0 +1,137 @@
+package scheduler
+
+import "repro/internal/cluster"
+
+// Batch stages freeze/unfreeze/reserve/release operations against one
+// scheduler and applies them in a single pass. The per-call API drains the
+// placement queue after every capacity-opening operation (Unfreeze,
+// Release); at data-center scale a controller tick stages hundreds of ops
+// per shard, and draining once per op rescans the queue O(ops) times.
+// Apply executes the staged ops in submission (index) order — so results
+// are byte-identical to issuing the same calls one by one — and performs
+// exactly one queue drain at the end if any capacity-opening op succeeded.
+//
+// A Batch is bound to its scheduler and must only be applied by the
+// goroutine that owns that scheduler's shard: the federated substrate gives
+// each DC its own scheduler, stages batches during the parallel plan phase,
+// and applies each shard's batch on the shard-owned worker (DESIGN.md §11).
+//
+// The zero Batch is not usable; obtain one from Scheduler.NewBatch. A Batch
+// may be retained and reused — Apply resets it for the next tick without
+// releasing its staging capacity.
+type Batch struct {
+	s   *Scheduler
+	ops []batchOp
+}
+
+// batchKind discriminates staged operations.
+type batchKind uint8
+
+const (
+	batchFreeze batchKind = iota
+	batchUnfreeze
+	batchReserve
+	batchRelease
+)
+
+func (k batchKind) String() string {
+	switch k {
+	case batchFreeze:
+		return "freeze"
+	case batchUnfreeze:
+		return "unfreeze"
+	case batchReserve:
+		return "reserve"
+	case batchRelease:
+		return "release"
+	}
+	return "unknown"
+}
+
+type batchOp struct {
+	kind       batchKind
+	id         cluster.ServerID
+	containers int
+	cpu        float64
+}
+
+// BatchError attributes a failed op to its submission index so callers can
+// merge error lists from several shards back into a deterministic order
+// ((shard, index)-lexicographic in the federated tick).
+type BatchError struct {
+	Index int    // position in submission order
+	Kind  string // "freeze" | "unfreeze" | "reserve" | "release"
+	ID    cluster.ServerID
+	Err   error
+}
+
+// NewBatch returns an empty batch bound to s.
+func (s *Scheduler) NewBatch() *Batch {
+	return &Batch{s: s}
+}
+
+// Freeze stages a Scheduler.Freeze call.
+func (b *Batch) Freeze(id cluster.ServerID) {
+	b.ops = append(b.ops, batchOp{kind: batchFreeze, id: id})
+}
+
+// Unfreeze stages a Scheduler.Unfreeze call.
+func (b *Batch) Unfreeze(id cluster.ServerID) {
+	b.ops = append(b.ops, batchOp{kind: batchUnfreeze, id: id})
+}
+
+// Reserve stages a Scheduler.Reserve call.
+func (b *Batch) Reserve(id cluster.ServerID, containers int, cpu float64) {
+	b.ops = append(b.ops, batchOp{kind: batchReserve, id: id, containers: containers, cpu: cpu})
+}
+
+// Release stages a Scheduler.Release call.
+func (b *Batch) Release(id cluster.ServerID, containers int, cpu float64) {
+	b.ops = append(b.ops, batchOp{kind: batchRelease, id: id, containers: containers, cpu: cpu})
+}
+
+// Len reports the number of staged ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply executes the staged ops in submission order against the bound
+// scheduler, resets the batch, and returns one BatchError per failed op
+// (unchanged errs when all succeeded), in submission order. Failed ops do
+// not abort the batch — each op validates independently, exactly as the
+// per-call API does. The placement queue is drained once, after the last
+// op, if at least one unfreeze or release succeeded. Apply is therefore
+// equivalent to the per-call sequence with every intermediate drain
+// deferred to the end: op validation and final server state are identical,
+// and queued-job placement is identical whenever the batch does not open
+// capacity before consuming it with jobs waiting (the controller's batches
+// are homogeneous per tick — a freeze plan or an unfreeze plan — so this
+// never arises on the control path).
+//
+// Errors are appended to errs, which may be nil; pass a reused slice to keep
+// steady-state applies allocation-free.
+func (b *Batch) Apply(errs []BatchError) []BatchError {
+	opened := false
+	for i := range b.ops {
+		op := &b.ops[i]
+		var err error
+		switch op.kind {
+		case batchFreeze:
+			err = b.s.Freeze(op.id)
+		case batchUnfreeze:
+			err = b.s.unfreeze(op.id)
+			opened = opened || err == nil
+		case batchReserve:
+			err = b.s.Reserve(op.id, op.containers, op.cpu)
+		case batchRelease:
+			err = b.s.release(op.id, op.containers, op.cpu)
+			opened = opened || err == nil
+		}
+		if err != nil {
+			errs = append(errs, BatchError{Index: i, Kind: op.kind.String(), ID: op.id, Err: err})
+		}
+	}
+	if opened {
+		b.s.drainQueue()
+	}
+	b.ops = b.ops[:0]
+	return errs
+}

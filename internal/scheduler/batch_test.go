@@ -1,0 +1,174 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestBatchMatchesPerCall applies a mixed op sequence through a Batch and
+// through the per-call API on an identical twin scheduler, and requires the
+// same per-op errors and the same final cluster state.
+func TestBatchMatchesPerCall(t *testing.T) {
+	build := func() (*sim.Engine, *cluster.Cluster, *Scheduler) {
+		eng := sim.NewEngine()
+		c := newTestCluster(t, 2, 2, 4)
+		return eng, c, New(eng, c, 1, nil)
+	}
+	_, cb, sb := build()
+	_, cp, sp := build()
+
+	type op struct {
+		kind       batchKind
+		id         cluster.ServerID
+		containers int
+		cpu        float64
+	}
+	ops := []op{
+		{batchFreeze, 0, 0, 0},
+		{batchFreeze, 0, 0, 0},  // duplicate: error
+		{batchFreeze, 99, 0, 0}, // unknown: error
+		{batchReserve, 1, 4, 4},
+		{batchReserve, 1, 1000, 0}, // over capacity: error
+		{batchFreeze, 5, 0, 0},
+		{batchUnfreeze, 0, 0, 0},
+		{batchUnfreeze, 3, 0, 0}, // not frozen: error
+		{batchRelease, 1, 2, 2},
+		{batchRelease, 2, 1, 1}, // nothing busy: error
+	}
+
+	b := sb.NewBatch()
+	for _, o := range ops {
+		switch o.kind {
+		case batchFreeze:
+			b.Freeze(o.id)
+		case batchUnfreeze:
+			b.Unfreeze(o.id)
+		case batchReserve:
+			b.Reserve(o.id, o.containers, o.cpu)
+		case batchRelease:
+			b.Release(o.id, o.containers, o.cpu)
+		}
+	}
+	if b.Len() != len(ops) {
+		t.Fatalf("staged %d ops, want %d", b.Len(), len(ops))
+	}
+	errs := b.Apply(nil)
+	if b.Len() != 0 {
+		t.Fatalf("batch not reset after Apply: %d ops left", b.Len())
+	}
+
+	var perCall []int
+	for i, o := range ops {
+		var err error
+		switch o.kind {
+		case batchFreeze:
+			err = sp.Freeze(o.id)
+		case batchUnfreeze:
+			err = sp.Unfreeze(o.id)
+		case batchReserve:
+			err = sp.Reserve(o.id, o.containers, o.cpu)
+		case batchRelease:
+			err = sp.Release(o.id, o.containers, o.cpu)
+		}
+		if err != nil {
+			perCall = append(perCall, i)
+		}
+	}
+	if len(errs) != len(perCall) {
+		t.Fatalf("batch produced %d errors, per-call %d", len(errs), len(perCall))
+	}
+	for k, be := range errs {
+		if be.Index != perCall[k] {
+			t.Errorf("error %d at batch index %d, per-call index %d", k, be.Index, perCall[k])
+		}
+		if be.Err == nil {
+			t.Errorf("error %d has nil Err", k)
+		}
+	}
+	for i := range cb.Servers {
+		svb, svp := cb.Server(cluster.ServerID(i)), cp.Server(cluster.ServerID(i))
+		if svb.Frozen() != svp.Frozen() || svb.Busy() != svp.Busy() {
+			t.Errorf("server %d diverged: batch frozen=%v busy=%d, per-call frozen=%v busy=%d",
+				i, svb.Frozen(), svb.Busy(), svp.Frozen(), svp.Busy())
+		}
+	}
+}
+
+// TestBatchDrainsQueueOnce checks that a batch of unfreezes drains the
+// placement queue exactly once, at the end, and that queued jobs land.
+func TestBatchDrainsQueueOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 2)
+	s := New(eng, c, 1, nil)
+
+	for id := cluster.ServerID(0); id < 2; id++ {
+		if err := s.Freeze(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 8; i++ {
+		s.Submit(&workload.Job{ID: i, Kind: workload.Batch, Work: 10 * sim.Minute, CPU: 1, Containers: 1, Product: -1})
+	}
+	if s.QueueLen() != 8 {
+		t.Fatalf("queue %d, want 8", s.QueueLen())
+	}
+
+	b := s.NewBatch()
+	b.Unfreeze(0)
+	b.Unfreeze(1)
+	if errs := b.Apply(nil); errs != nil {
+		t.Fatalf("unexpected batch errors: %v", errs)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("queue %d after batched unfreeze, want 0", s.QueueLen())
+	}
+	if got := c.Server(0).Busy() + c.Server(1).Busy(); got != 8 {
+		t.Fatalf("placed containers %d, want 8", got)
+	}
+
+	// A pure freeze batch must not drain (nothing opened).
+	for i := int64(8); i < 40; i++ {
+		s.Submit(&workload.Job{ID: i, Kind: workload.Batch, Work: 10 * sim.Minute, CPU: 1, Containers: 1, Product: -1})
+	}
+	queued := s.QueueLen()
+	fb := s.NewBatch()
+	fb.Freeze(0)
+	if errs := fb.Apply(nil); errs != nil {
+		t.Fatalf("unexpected batch errors: %v", errs)
+	}
+	if s.QueueLen() != queued {
+		t.Fatalf("freeze-only batch changed queue length: %d -> %d", queued, s.QueueLen())
+	}
+}
+
+// TestBatchErrsReuse pins the allocation contract: Apply appends into the
+// caller's slice so a reused batch + error slice applies with no per-tick
+// garbage.
+func TestBatchErrsReuse(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newTestCluster(t, 1, 1, 2)
+	s := New(eng, c, 1, nil)
+	_ = eng
+
+	b := s.NewBatch()
+	errs := make([]BatchError, 0, 4)
+	frozen := false
+	if n := testing.AllocsPerRun(20, func() {
+		if frozen {
+			b.Unfreeze(0)
+		} else {
+			b.Freeze(0)
+		}
+		frozen = !frozen
+		errs = b.Apply(errs[:0])
+		if len(errs) != 0 {
+			t.Fatalf("unexpected errors: %v", errs)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state batch apply allocates %.1f objects, want 0", n)
+	}
+	_ = c
+}
